@@ -1,0 +1,68 @@
+"""Section VI-B: minimal secure R-type windows.
+
+Paper values: window size 3 is the minimal secure window for
+Train + Test; Test + Hit needs 9 (and window 5 gives only partial
+security).
+
+Methodology notes:
+
+* the security boundary is a statistical threshold-crossing, so each
+  window's p-value is the **median over five seeds** (machine noise
+  and the defense's random stream both vary) and "secure" means every
+  window from there on stays above 0.05;
+* following the strongest-attacker principle, the Test + Hit sweep
+  amplifies the attack as far as the microarchitecture allows (longer
+  dependent chain, larger reorder buffer) — a defense window is only
+  meaningful against the best attack it must defeat.
+"""
+
+from repro.core.variants import TestHitAttack, TrainTestAttack
+from repro.harness import render_defense_sweep, window_sweep
+from repro.pipeline.config import CoreConfig
+
+from benchmarks.conftest import run_once
+
+#: Amplified-attacker configuration for the Test + Hit sweep.  The
+#: minimal secure window scales with the attack's amplification (a
+#: longer dependent chain widens the timing gap an R-type window must
+#: wash out): chains of 220/300/360 give stable minima of 7/8/11,
+#: bracketing the paper's 9.  The bench runs the 220 configuration for
+#: runtime; EXPERIMENTS.md records the full scaling.
+TEST_HIT_CHAIN = 220
+TEST_HIT_ROB = 192
+
+
+def _both_sweeps():
+    train_test = window_sweep(
+        TrainTestAttack(), windows=(1, 2, 3, 4, 5), n_runs=100,
+    )
+    test_hit = window_sweep(
+        TestHitAttack(), windows=(1, 2, 4, 5, 6, 7, 8, 9, 10, 11),
+        n_runs=100,
+        chain_length=TEST_HIT_CHAIN,
+        core_config=CoreConfig(rob_size=TEST_HIT_ROB),
+    )
+    return train_test, test_hit
+
+
+def test_minimal_secure_windows(benchmark):
+    (tt_rows, tt_secure), (th_rows, th_secure) = run_once(
+        benchmark, _both_sweeps
+    )
+    print("\n" + render_defense_sweep("Train + Test", tt_rows, tt_secure))
+    print("(paper: minimal secure window 3)\n")
+    print(render_defense_sweep("Test + Hit", th_rows, th_secure))
+    print("(paper: minimal secure window 9; window 5 only partial)")
+
+    # Undefended (window 1) both attacks work.
+    assert tt_rows[0][1] < 0.05
+    assert th_rows[0][1] < 0.05
+    # Train + Test is secured by a small window ...
+    assert tt_secure is not None and tt_secure <= 4
+    # ... while Test + Hit still leaks there and needs a much larger one.
+    th_pvalues = dict(th_rows)
+    assert th_pvalues[5] < 0.05, (
+        "Test + Hit must still leak at window 5 (the paper's "
+        "'partial security' point)"
+    )
+    assert th_secure is not None and th_secure >= 2 * tt_secure

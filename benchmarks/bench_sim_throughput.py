@@ -1,0 +1,102 @@
+"""Simulator microbenchmarks: cost of the substrate itself.
+
+Not a paper artifact — these keep the reproduction honest about its
+own performance and catch regressions in the cycle loop, the cache
+model, and the predictors.  Unlike the experiment benches, these use
+pytest-benchmark's normal multi-round timing.
+"""
+
+import random
+
+from repro.isa.builder import ProgramBuilder
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.hierarchy import MemorySystem
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import Core
+from repro.vp.base import AccessKey
+from repro.vp.lvp import LastValuePredictor
+from repro.vp.vtage import VtagePredictor
+
+from tests.conftest import deterministic_memory_config
+
+
+def _alu_program(length=400):
+    builder = ProgramBuilder(pid=1)
+    builder.li(1, 1)
+    for index in range(length):
+        builder.add(1 + (index % 6), 1, imm=index)
+    return builder.build()
+
+
+def _memory_program(loads=120):
+    builder = ProgramBuilder(pid=1)
+    for index in range(loads):
+        builder.load(2 + (index % 6), imm=0x10000 + index * 64)
+    return builder.build()
+
+
+def test_core_alu_throughput(benchmark):
+    program = _alu_program()
+
+    def run():
+        core = Core(
+            MemorySystem(deterministic_memory_config()),
+            LastValuePredictor(), CoreConfig(),
+        )
+        return core.run(program).retired
+
+    retired = benchmark(run)
+    assert retired == len(program) + 0
+
+
+def test_core_memory_throughput(benchmark):
+    program = _memory_program()
+
+    def run():
+        core = Core(
+            MemorySystem(deterministic_memory_config()),
+            LastValuePredictor(), CoreConfig(),
+        )
+        return core.run(program).retired
+
+    retired = benchmark(run)
+    assert retired == len(program)
+
+
+def test_cache_lookup_throughput(benchmark):
+    cache = SetAssociativeCache("bench", 32 * 1024, 8)
+    addresses = [i * 64 for i in range(512)]
+    for addr in addresses:
+        cache.fill(addr)
+
+    def run():
+        hits = 0
+        for addr in addresses:
+            hits += cache.lookup(addr)
+        return hits
+
+    assert benchmark(run) == 512
+
+
+def test_lvp_train_predict_throughput(benchmark):
+    predictor = LastValuePredictor(confidence_threshold=4, capacity=512)
+    keys = [AccessKey(pc=0x1000 + 4 * i, addr=0x40 * i) for i in range(256)]
+
+    def run():
+        for key in keys:
+            predictor.train(key, 42)
+        return sum(1 for key in keys if predictor.predict(key))
+
+    benchmark(run)
+
+
+def test_vtage_train_predict_throughput(benchmark):
+    predictor = VtagePredictor(confidence_threshold=4)
+    keys = [AccessKey(pc=0x1000 + 4 * i, addr=0x40 * i) for i in range(128)]
+
+    def run():
+        for key in keys:
+            predictor.train(key, 42)
+        return sum(1 for key in keys if predictor.predict(key))
+
+    benchmark(run)

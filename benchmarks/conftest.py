@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper.  The
+heavy experiments run exactly once per benchmark (``pedantic`` with a
+single round) — the timing pytest-benchmark reports is the cost of
+regenerating that artifact, and the assertions check the paper's
+*shape* (who leaks, who doesn't, in which direction).
+
+Run with output visible:
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Execute ``function`` once under the benchmark timer."""
+    return benchmark.pedantic(
+        function, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Covert channel: send a byte string through the value predictor.
+
+Uses the Fill Up pattern as a sender-to-receiver covert channel: the
+sender trains the Value Prediction System with one data value per
+symbol; the receiver's collided trigger plus the persistent
+(FLUSH+RELOAD) channel recovers it.  This demonstrates the paper's
+observation that Fill Up "can also be extracted from transient
+execution using a persistent ... channel since the predictor is
+trained on the secret".
+
+Run:  python examples/covert_channel_demo.py
+"""
+
+from repro.core.channels import cached_lines, probe_latencies_from_rdtsc
+from repro.memory import MemoryConfig, MemorySystem
+from repro.pipeline import Core, CoreConfig
+from repro.vp import LastValuePredictor
+from repro.workloads import gadgets
+from repro.workloads.gadgets import Layout
+
+MESSAGE = b"VPS!"
+HIT_THRESHOLD = 60.0  # cycles; between L1 hit (~3) and DRAM (~200+)
+
+
+def send_symbol(core: Core, layout: Layout, symbol: int,
+                confidence: int) -> None:
+    """Sender: train the predictor entry with the symbol value.
+
+    ``confidence + 1`` accesses: the entry still holds the previous
+    symbol (or the receiver's trigger data), so the first access only
+    resets the confidence counter.
+    """
+    core.memory.write_value(layout.sender_pid, layout.secret_addr, symbol)
+    core.run(gadgets.train_program(
+        "cc-send", layout.sender_pid, layout.sender_base_pc,
+        layout.collide_pc, layout.secret_addr, confidence + 1,
+    ))
+
+
+def receive_symbol(core: Core, layout: Layout) -> int:
+    """Receiver: transiently encode the prediction, then reload."""
+    core.memory.write_value(
+        layout.receiver_pid, layout.receiver_known_addr, 0x1FF
+    )
+    core.run(gadgets.encode_trigger_program(
+        "cc-recv", layout.receiver_pid, layout.receiver_base_pc,
+        layout.collide_pc, layout.receiver_known_addr, layout,
+        flush_lines=list(range(256)),
+    ))
+    probe = core.run(gadgets.probe_program(
+        "cc-probe", layout.receiver_pid, layout.probe_base_pc, layout,
+        list(range(256)),
+    ))
+    latencies = probe_latencies_from_rdtsc(probe.rdtsc_values, 256)
+    hot = cached_lines(latencies, HIT_THRESHOLD)
+    # The receiver's own replayed value (0x1FF maps outside 0..255 after
+    # masking? it maps to line 511 -> not probed) leaves the symbol as
+    # the hot line.
+    return hot[0] if hot else -1
+
+
+def main() -> None:
+    layout = Layout()
+    memory = MemorySystem(MemoryConfig(seed=42))
+    memory.add_shared_region(
+        layout.probe_base, layout.probe_lines * layout.probe_stride
+    )
+    core = Core(
+        memory, LastValuePredictor(confidence_threshold=4), CoreConfig()
+    )
+
+    received = bytearray()
+    for symbol in MESSAGE:
+        send_symbol(core, layout, symbol, confidence=4)
+        value = receive_symbol(core, layout)
+        received.append(value if 0 <= value < 256 else 0)
+        if 0 <= value < 256:
+            print(f"sent {symbol:#04x} ({chr(symbol)!r})  ->  "
+                  f"received {value:#04x} ({chr(value)!r})")
+        else:
+            print(f"sent {symbol:#04x} ({chr(symbol)!r})  ->  lost")
+
+    print()
+    print(f"message sent    : {MESSAGE!r}")
+    print(f"message received: {bytes(received)!r}")
+    print(f"intact          : {bytes(received) == MESSAGE}")
+    total_cycles = core.cycle
+    bits = 8 * len(MESSAGE)
+    print(f"raw channel rate: {bits} bits in {total_cycles} simulated "
+          f"cycles ({2e9 * bits / total_cycles / 1000:.1f} Kbps at 2 GHz, "
+          "before victim-synchronisation overhead)")
+
+
+if __name__ == "__main__":
+    main()

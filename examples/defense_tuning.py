@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Tune the R-type defense window (Section VI-B).
+
+Sweeps the random-prediction window size S over Train + Test and
+Test + Hit, reports each attack's p-value, and finds the minimal
+secure window (the paper reports S = 3 and S = 9 respectively).  Also
+demonstrates that the combined A+D+R stack blocks everything while a
+lone D-type defense only closes persistent channels.
+
+Run:  python examples/defense_tuning.py
+"""
+
+from repro.core import AttackConfig, AttackRunner, ChannelType
+from repro.core.variants import (
+    FillUpAttack,
+    SpillOverAttack,
+    TestHitAttack,
+    TrainTestAttack,
+)
+from repro.defenses import (
+    AlwaysPredictDefense,
+    DelaySideEffectsDefense,
+    full_stack,
+)
+from repro.harness import render_defense_matrix, render_defense_sweep, window_sweep
+
+
+def main() -> None:
+    # A coarse sweep for interactivity; the full resolution runs in
+    # benchmarks/bench_defense_windows.py with the paper's n=100.
+    for variant, windows in (
+        (TrainTestAttack(), (1, 3, 5)),
+        (TestHitAttack(), (1, 5, 9, 12)),
+    ):
+        rows, secure_at = window_sweep(
+            variant, windows, n_runs=60, seeds=(1, 2, 3)
+        )
+        print(render_defense_sweep(variant.name, rows, secure_at))
+        print()
+
+    # --- Defense coverage matrix. -------------------------------------
+    def pvalue(variant, channel, defense):
+        return AttackRunner(
+            variant,
+            AttackConfig(n_runs=60, channel=channel, predictor="lvp",
+                         defense=defense, seed=4),
+        ).run_experiment().pvalue
+
+    cases = [
+        (TrainTestAttack(), ChannelType.PERSISTENT,
+         DelaySideEffectsDefense(), "D"),
+        (TrainTestAttack(), ChannelType.TIMING_WINDOW,
+         DelaySideEffectsDefense(), "D (insufficient)"),
+        (FillUpAttack(), ChannelType.PERSISTENT,
+         DelaySideEffectsDefense(), "D"),
+        (SpillOverAttack(), ChannelType.TIMING_WINDOW,
+         AlwaysPredictDefense(mode="fixed"), "A[fixed]"),
+        (SpillOverAttack(), ChannelType.TIMING_WINDOW,
+         AlwaysPredictDefense(mode="history"), "A[history] (leaky)"),
+        (TestHitAttack(), ChannelType.TIMING_WINDOW,
+         full_stack(window_size=12, a_mode="fixed"), "A+D+R[12]"),
+        (TrainTestAttack(), ChannelType.TIMING_WINDOW,
+         full_stack(window_size=12, a_mode="fixed"), "A+D+R[12]"),
+    ]
+    rows = [
+        {"attack": variant.name, "channel": channel.value,
+         "defense": label, "pvalue": pvalue(variant, channel, defense)}
+        for variant, channel, defense, label in cases
+    ]
+    print(render_defense_matrix(rows))
+
+
+if __name__ == "__main__":
+    main()

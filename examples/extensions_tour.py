@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Tour of the reproduction's extensions beyond the paper's evaluation.
+
+Four stops:
+
+1. the **volatile channel** (port contention via SMT co-execution);
+2. a **flushless attack** on a non-load-based VPS (paper footnote 2);
+3. the **attack synthesizer**: compile any Table I combination into
+   concrete programs and compare simulation against the abstract model;
+4. the attacks on a **BeBoP-style block-based predictor** (the paper's
+   reference [9]).
+
+Run:  python examples/extensions_tour.py
+"""
+
+from repro.core import (
+    AttackConfig,
+    AttackRunner,
+    ChannelType,
+    Combo,
+    synthesize_trial,
+)
+from repro.core.actions import NONE_ACTION, R_KD, S_SD1
+from repro.core.variants import FillUpAttack, TestHitAttack
+from repro.vp import BebopPredictor
+
+
+def volatile_channel() -> None:
+    print("=== 1. Volatile (port-contention) channel ===")
+    for predictor in ("none", "lvp"):
+        config = AttackConfig(
+            n_runs=40, channel=ChannelType.VOLATILE,
+            predictor=predictor, seed=2,
+        )
+        result = AttackRunner(FillUpAttack(), config).run_experiment()
+        print(f"  Fill Up, vp={predictor}: "
+              f"observer window {result.comparison.mapped.mean:.0f} vs "
+              f"{result.comparison.unmapped.mean:.0f} cycles, "
+              f"p={result.pvalue:.4f}")
+    print("  -> a misprediction replays the victim's transient multiply "
+          "burst; the co-runner feels one extra burst of pressure\n")
+
+
+def flushless_attack() -> None:
+    print("=== 2. Flushless attack (non-load-based VPS, footnote 2) ===")
+    from repro.isa.builder import ProgramBuilder
+    from repro.memory.hierarchy import MemorySystem, MemoryConfig
+    from repro.pipeline import Core, CoreConfig
+    from repro.vp import LastValuePredictor
+
+    memory = MemorySystem(MemoryConfig(seed=1))
+    core = Core(
+        memory, LastValuePredictor(confidence_threshold=4),
+        CoreConfig(predict_on_hit=True),
+    )
+    addr, load_pc = 0x30000, 0x1000
+    memory.write_value(1, addr, 42)
+    train = ProgramBuilder("train", pid=1)
+    train.pin_pc(load_pc)
+    with train.loop(5):
+        train.load(3, imm=addr)
+        train.fence()
+    core.run(train.build())
+    memory.write_value(1, addr, 99)  # secret changed; line still cached
+
+    trigger = ProgramBuilder("trigger", pid=1)
+    trigger.rdtsc(9).fence()
+    trigger.pin_pc(load_pc)
+    trigger.load(3, imm=addr, tag="t")
+    trigger.dependent_chain(40, dst=30, src=3)
+    trigger.fence().rdtsc(10)
+    program = trigger.build()
+    result = core.run(program)
+    event = result.loads_tagged(program, "t")[0]
+    print(f"  trigger was an L1 HIT ({event.l1_hit}), predicted "
+          f"({event.predicted}), mispredicted "
+          f"({event.prediction_correct is False}): squash visible in a "
+          f"{result.rdtsc_delta()}-cycle hit-speed window — no flush "
+          "instruction anywhere\n")
+
+
+def synthesizer() -> None:
+    print("=== 3. Attack synthesizer: any model combo, executed ===")
+    combo = Combo(S_SD1, NONE_ACTION, R_KD)  # Test + Hit's Table II row
+    for mapped in (True, False):
+        outcome = synthesize_trial(combo, mapped=mapped)
+        print(f"  {combo.symbol} mapped={mapped}: simulated="
+              f"{outcome.observed.value:13s} model predicted="
+              f"{outcome.predicted.value:13s} sound={outcome.sound}")
+    print("  -> bench_model_soundness runs all 576 combos this way "
+          "(4352/4352 cases agree)\n")
+
+
+def bebop() -> None:
+    print("=== 4. Attacks on a BeBoP-style block-based predictor ===")
+    config = AttackConfig(
+        n_runs=60,
+        predictor=lambda c: BebopPredictor(confidence_threshold=c),
+        seed=0,
+    )
+    result = AttackRunner(TestHitAttack(), config).run_experiment()
+    print(f"  Test + Hit on BeBoP: p={result.pvalue:.4f} "
+          f"({'leaks' if result.attack_succeeds else 'safe?!'}) — "
+          "block-based storage with partial tags changes nothing\n")
+
+
+if __name__ == "__main__":
+    volatile_channel()
+    flushless_attack()
+    synthesizer()
+    bebop()

@@ -1,0 +1,279 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Examples::
+
+    python -m repro table2
+    python -m repro attack --variant "Train + Test" --channel persistent
+    python -m repro table3 --runs 100
+    python -m repro fig5
+    python -m repro fig7
+    python -m repro sweep --variant "Test + Hit" --windows 1,2,4,6,8,9,10
+    python -m repro attack --variant "Spill Over" --defense "A[fixed]+D"
+    python -m repro speedup
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.attack import AttackConfig, AttackRunner
+from repro.core.channels import ChannelType
+from repro.core.variants import variant_by_name
+from repro.defenses import (
+    AlwaysPredictDefense,
+    Defense,
+    DefenseStack,
+    DelaySideEffectsDefense,
+    InvisiSpecDefense,
+    RandomWindowDefense,
+)
+from repro.errors import ReproError
+from repro.harness import (
+    figure5_panels,
+    figure7_report,
+    figure7_result,
+    figure8_panels,
+    figure_report,
+    render_defense_sweep,
+    render_table1,
+    render_table2,
+    table3_report,
+    table3_results,
+    window_sweep,
+)
+from repro.core.taxonomy import render_figure2
+
+
+def parse_defense(text: Optional[str]) -> Optional[Defense]:
+    """Parse a defense spec like ``"R[3]+A[history]+D"``.
+
+    Components: ``R[n]`` (random window), ``A[history]``/``A[fixed]``
+    (always predict), ``D`` (delay side effects), ``invisispec``.
+    """
+    if not text:
+        return None
+    components: List[Defense] = []
+    for token in text.split("+"):
+        token = token.strip()
+        lowered = token.lower()
+        if lowered.startswith("r[") and lowered.endswith("]"):
+            components.append(
+                RandomWindowDefense(window_size=int(token[2:-1]))
+            )
+        elif lowered.startswith("a[") and lowered.endswith("]"):
+            components.append(AlwaysPredictDefense(mode=lowered[2:-1]))
+        elif lowered == "d":
+            components.append(DelaySideEffectsDefense())
+        elif lowered == "invisispec":
+            components.append(InvisiSpecDefense())
+        else:
+            raise ReproError(f"unknown defense component {token!r}")
+    return DefenseStack(components)
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    print(render_table1())
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    print(render_table2())
+
+
+def _cmd_fig2(args: argparse.Namespace) -> None:
+    print(render_figure2())
+
+
+def _cmd_attack(args: argparse.Namespace) -> None:
+    variant = variant_by_name(args.variant)
+    config = AttackConfig(
+        n_runs=args.runs,
+        channel=ChannelType(args.channel),
+        predictor=args.predictor,
+        confidence=args.confidence,
+        seed=args.seed,
+        defense=parse_defense(args.defense),
+        use_oracle=args.oracle,
+        modify_mode=args.modify_mode,
+    )
+    result = AttackRunner(variant, config).run_experiment()
+    print(result.describe())
+    print(f"  mapped   mean: {result.comparison.mapped.mean:8.1f} cycles "
+          f"(n={len(result.comparison.mapped)})")
+    print(f"  unmapped mean: {result.comparison.unmapped.mean:8.1f} cycles "
+          f"(n={len(result.comparison.unmapped)})")
+
+
+def _cmd_table3(args: argparse.Namespace) -> None:
+    results = table3_results(n_runs=args.runs, seed=args.seed)
+    print(table3_report(results))
+
+
+def _cmd_fig5(args: argparse.Namespace) -> None:
+    panels = figure5_panels(n_runs=args.runs, seed=args.seed)
+    print(figure_report(
+        "Figure 5: Train + Test attacks", panels,
+        mapped_label="mapped index", unmapped_label="unmapped index",
+    ))
+
+
+def _cmd_fig8(args: argparse.Namespace) -> None:
+    panels = figure8_panels(n_runs=args.runs, seed=args.seed)
+    print(figure_report(
+        "Figure 8: Test + Hit attacks", panels,
+        mapped_label="mapped data", unmapped_label="unmapped data",
+    ))
+
+
+def _cmd_fig7(args: argparse.Namespace) -> None:
+    print(figure7_report(figure7_result(seed=args.seed)))
+
+
+def _cmd_sweep(args: argparse.Namespace) -> None:
+    variant = variant_by_name(args.variant)
+    windows = [int(part) for part in args.windows.split(",")]
+    rows, secure_at = window_sweep(
+        variant, windows, n_runs=args.runs,
+        seeds=tuple(args.seed + i for i in range(args.median_seeds)),
+    )
+    print(render_defense_sweep(variant.name, rows, secure_at))
+
+
+def _cmd_all(args: argparse.Namespace) -> None:
+    from repro.harness.persistence import run_all
+
+    artifacts = (
+        [part.strip() for part in args.artifacts.split(",")]
+        if args.artifacts else None
+    )
+    written = run_all(
+        args.out, n_runs=args.runs, seed=args.seed, artifacts=artifacts
+    )
+    for name, path in sorted(written.items()):
+        print(f"{name}: {path}")
+
+
+def _cmd_speedup(args: argparse.Namespace) -> None:
+    from repro.memory.hierarchy import MemorySystem, MemoryConfig
+    from repro.memory.memsys import DramConfig
+    from repro.vp.lvp import LastValuePredictor
+    from repro.vp.nopred import NoPredictor
+    from repro.workloads.perf import (
+        run_workload, speedup_percent, value_locality_workload,
+    )
+
+    def quiet_memory():
+        return MemorySystem(MemoryConfig(
+            dram=DramConfig(base_latency=200, jitter=0, tail_probability=0.0),
+            l2_jitter=0,
+        ))
+
+    print("Value-prediction speedup vs. value locality:")
+    for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+        workload = value_locality_workload(
+            stable_fraction=fraction, dependent_work=40
+        )
+        baseline = run_workload(workload, NoPredictor(), quiet_memory())
+        predicted = run_workload(
+            workload, LastValuePredictor(confidence_threshold=4),
+            quiet_memory(),
+        )
+        print(f"  stable={fraction:4.2f}  baseline={baseline:6d}  "
+              f"vp={predicted:6d}  speedup={speedup_percent(baseline, predicted):+5.1f}%")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'New Predictor-Based Attacks in Processors' "
+            "(DAC 2021): regenerate any table or figure."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table I action alphabet").set_defaults(
+        func=_cmd_table1
+    )
+    sub.add_parser("table2", help="Table II model enumeration").set_defaults(
+        func=_cmd_table2
+    )
+    sub.add_parser("fig2", help="Figure 2 channel taxonomy").set_defaults(
+        func=_cmd_fig2
+    )
+
+    attack = sub.add_parser("attack", help="run one attack experiment")
+    attack.add_argument("--variant", required=True,
+                        help='e.g. "Train + Test"')
+    attack.add_argument("--channel", default="timing-window",
+                        choices=[c.value for c in ChannelType])
+    attack.add_argument("--predictor", default="lvp",
+                        choices=["lvp", "vtage", "none"])
+    attack.add_argument("--confidence", type=int, default=4)
+    attack.add_argument("--runs", type=int, default=100)
+    attack.add_argument("--seed", type=int, default=0)
+    attack.add_argument("--defense", default=None,
+                        help='e.g. "R[3]+A[history]+D" or "invisispec"')
+    attack.add_argument("--oracle", action="store_true",
+                        help="predict only for the trigger PC")
+    attack.add_argument("--modify-mode", default="retrain",
+                        choices=["retrain", "invalidate"])
+    attack.set_defaults(func=_cmd_attack)
+
+    for name, fn, help_text in (
+        ("table3", _cmd_table3, "full Table III evaluation"),
+        ("fig5", _cmd_fig5, "Figure 5 Train + Test histograms"),
+        ("fig8", _cmd_fig8, "Figure 8 Test + Hit histograms"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--runs", type=int, default=100)
+        cmd.add_argument("--seed", type=int, default=0)
+        cmd.set_defaults(func=fn)
+
+    fig7 = sub.add_parser("fig7", help="Figure 7 RSA exponent leak")
+    fig7.add_argument("--seed", type=int, default=7)
+    fig7.set_defaults(func=_cmd_fig7)
+
+    sweep = sub.add_parser("sweep", help="R-type window sweep")
+    sweep.add_argument("--variant", required=True)
+    sweep.add_argument("--windows", default="1,2,3,4,5,6,7,8,9,10")
+    sweep.add_argument("--runs", type=int, default=100)
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument("--median-seeds", type=int, default=5,
+                       help="seeds per window; the median p-value is used")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    sub.add_parser(
+        "speedup", help="value-prediction performance benefit"
+    ).set_defaults(func=_cmd_speedup)
+
+    everything = sub.add_parser(
+        "all", help="regenerate core artifacts into a directory"
+    )
+    everything.add_argument("--out", required=True,
+                            help="existing output directory")
+    everything.add_argument("--runs", type=int, default=100)
+    everything.add_argument("--seed", type=int, default=0)
+    everything.add_argument(
+        "--artifacts", default=None,
+        help="comma-separated subset of table1,table2,fig5,fig7,fig8,table3",
+    )
+    everything.set_defaults(func=_cmd_all)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        return 0
+    return 0

@@ -1,0 +1,182 @@
+"""Attack-step actions (Table I of the paper).
+
+Each of the three state-changing steps of a value-predictor attack
+(train, modify, trigger) is one *action*: an access by the sender (S)
+or the receiver (R), to data (D) or to an index (I), which is either
+known (K) or secret (S).  Only the sender can touch secrets, and
+secret data/indices come in two flavours (written D'/D'' and I'/I'' in
+the paper) so the model can express "possibly the same or different
+secret".  The modify step may also be empty (written ``—``).
+
+The full alphabet:
+
+==========  =====================================================
+``S^KD``    Sender accesses data it knows.
+``S^KI``    Sender accesses an index it knows.
+``R^KD``    Receiver accesses data it knows.
+``R^KI``    Receiver accesses an index it knows.
+``S^SD'``   Sender accesses secret data (first flavour).
+``S^SD''``  Sender accesses secret data (second flavour).
+``S^SI'``   Sender accesses a secret-dependent index (first).
+``S^SI''``  Sender accesses a secret-dependent index (second).
+``—``       No action (modify step only).
+==========  =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ModelError
+
+
+class Actor(enum.Enum):
+    """Who performs an access."""
+
+    SENDER = "S"
+    RECEIVER = "R"
+
+
+class Knowledge(enum.Enum):
+    """Whether the accessed data/index is known or secret."""
+
+    KNOWN = "K"
+    SECRET = "S"
+
+
+class Dimension(enum.Enum):
+    """What the access (and thus the attack) is about."""
+
+    DATA = "D"
+    INDEX = "I"
+
+
+class SecretFlavour(enum.Enum):
+    """Distinguishes possibly-different secrets (D' vs D'', I' vs I'')."""
+
+    NONE = ""
+    PRIME = "'"
+    DOUBLE_PRIME = "''"
+
+
+@dataclass(frozen=True)
+class Action:
+    """One access action of Table I, or the empty modify action.
+
+    Attributes:
+        actor: Sender or receiver (``None`` for the empty action).
+        knowledge: Known or secret (``None`` for the empty action).
+        dimension: Data or index (``None`` for the empty action).
+        flavour: Secret flavour (' or ''); NONE for known accesses.
+    """
+
+    actor: Optional[Actor] = None
+    knowledge: Optional[Knowledge] = None
+    dimension: Optional[Dimension] = None
+    flavour: SecretFlavour = SecretFlavour.NONE
+
+    def __post_init__(self) -> None:
+        if self.is_none:
+            if (self.knowledge, self.dimension) != (None, None) or (
+                self.flavour is not SecretFlavour.NONE
+            ):
+                raise ModelError("empty action must have no attributes")
+            return
+        if self.knowledge is None or self.dimension is None:
+            raise ModelError("non-empty action needs knowledge and dimension")
+        if self.knowledge is Knowledge.SECRET:
+            if self.actor is not Actor.SENDER:
+                raise ModelError(
+                    "only the sender has logical access to the secret"
+                )
+            if self.flavour is SecretFlavour.NONE:
+                raise ModelError("secret actions carry a flavour (' or '')")
+        elif self.flavour is not SecretFlavour.NONE:
+            raise ModelError("known actions carry no secret flavour")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_none(self) -> bool:
+        """True for the empty (``—``) modify action."""
+        return self.actor is None
+
+    @property
+    def is_secret(self) -> bool:
+        """True for secret-dependent actions."""
+        return not self.is_none and self.knowledge is Knowledge.SECRET
+
+    @property
+    def is_known(self) -> bool:
+        """True for known-data/index actions."""
+        return not self.is_none and self.knowledge is Knowledge.KNOWN
+
+    @property
+    def symbol(self) -> str:
+        """The paper's notation, e.g. ``"S^SD'"`` or ``"—"``."""
+        if self.is_none:
+            return "—"
+        return (
+            f"{self.actor.value}^{self.knowledge.value}"
+            f"{self.dimension.value}{self.flavour.value}"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.symbol
+
+    @classmethod
+    def parse(cls, symbol: str) -> "Action":
+        """Parse the paper's notation back into an :class:`Action`.
+
+        Raises:
+            ModelError: On malformed symbols.
+        """
+        text = symbol.strip()
+        if text in ("—", "-", ""):
+            return NONE_ACTION
+        try:
+            actor_text, rest = text.split("^", 1)
+            actor = Actor(actor_text)
+            knowledge = Knowledge(rest[0])
+            dimension = Dimension(rest[1])
+            flavour_text = rest[2:]
+            flavour = {
+                "": SecretFlavour.NONE,
+                "'": SecretFlavour.PRIME,
+                "''": SecretFlavour.DOUBLE_PRIME,
+            }[flavour_text]
+        except (ValueError, KeyError, IndexError):
+            raise ModelError(f"cannot parse action symbol {symbol!r}") from None
+        return cls(
+            actor=actor, knowledge=knowledge, dimension=dimension, flavour=flavour
+        )
+
+
+#: The empty modify-step action ("this step is not used").
+NONE_ACTION = Action()
+
+# The eight access actions of Table I ------------------------------------
+S_KD = Action(Actor.SENDER, Knowledge.KNOWN, Dimension.DATA)
+S_KI = Action(Actor.SENDER, Knowledge.KNOWN, Dimension.INDEX)
+R_KD = Action(Actor.RECEIVER, Knowledge.KNOWN, Dimension.DATA)
+R_KI = Action(Actor.RECEIVER, Knowledge.KNOWN, Dimension.INDEX)
+S_SD1 = Action(Actor.SENDER, Knowledge.SECRET, Dimension.DATA, SecretFlavour.PRIME)
+S_SD2 = Action(
+    Actor.SENDER, Knowledge.SECRET, Dimension.DATA, SecretFlavour.DOUBLE_PRIME
+)
+S_SI1 = Action(Actor.SENDER, Knowledge.SECRET, Dimension.INDEX, SecretFlavour.PRIME)
+S_SI2 = Action(
+    Actor.SENDER, Knowledge.SECRET, Dimension.INDEX, SecretFlavour.DOUBLE_PRIME
+)
+
+#: Actions available in the train step (8 per the paper's counting).
+TRAIN_ACTIONS: Tuple[Action, ...] = (
+    S_KD, S_KI, R_KD, R_KI, S_SD1, S_SD2, S_SI1, S_SI2
+)
+
+#: Actions available in the modify step (the same 8 plus ``—`` = 9).
+MODIFY_ACTIONS: Tuple[Action, ...] = TRAIN_ACTIONS + (NONE_ACTION,)
+
+#: Actions available in the trigger step (8).
+TRIGGER_ACTIONS: Tuple[Action, ...] = TRAIN_ACTIONS

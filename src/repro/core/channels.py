@@ -1,0 +1,114 @@
+"""Encode/decode channels (steps 4 and 5 of the attack schema).
+
+The paper distinguishes three channel families (Section V-A-4):
+
+* **timing-window** — directly measure the latency of the trigger load
+  and its dependent instructions; no persistent state is involved.
+  This family contains the paper's novel *no prediction vs. correct
+  prediction* signal.
+* **persistent** — encode the predicted value into a state that
+  survives the transient window, canonically a FLUSH+RELOAD cache
+  channel over a probe array indexed by the value (Spectre-style).
+* **volatile** — contention channels (e.g. execution-port pressure)
+  that exist only while the transient window is open.
+
+The channel determines how attack variants build their trigger phase
+and how a raw measurement is decoded into a bit; the decode helpers
+here are shared by the variants and the examples.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import AttackError
+
+
+class ChannelType(enum.Enum):
+    """The three channel families of Section V-A."""
+
+    TIMING_WINDOW = "timing-window"
+    PERSISTENT = "persistent"
+    VOLATILE = "volatile"
+
+
+@dataclass(frozen=True)
+class ThresholdDecoder:
+    """Decodes a scalar measurement by comparing against a threshold.
+
+    The receiver calibrates the threshold from reference runs; this is
+    the ``if (t2-t1 > threshold)`` of Figure 3 line 22.
+
+    Attributes:
+        threshold: Decision boundary in cycles.
+        slow_means_one: If True, measurements above the threshold
+            decode to bit 1 (Train+Test-style: misprediction = secret
+            1); otherwise below-threshold decodes to 1.
+    """
+
+    threshold: float
+    slow_means_one: bool = True
+
+    def decode(self, measurement: float) -> int:
+        """Return the decoded bit for one measurement."""
+        above = measurement > self.threshold
+        return int(above == self.slow_means_one)
+
+    @classmethod
+    def calibrate(
+        cls,
+        fast_samples: Sequence[float],
+        slow_samples: Sequence[float],
+        slow_means_one: bool = True,
+    ) -> "ThresholdDecoder":
+        """Place the threshold at the midpoint of the two sample means.
+
+        Raises:
+            AttackError: If either calibration set is empty.
+        """
+        if not fast_samples or not slow_samples:
+            raise AttackError("calibration requires samples for both classes")
+        fast_mean = sum(fast_samples) / len(fast_samples)
+        slow_mean = sum(slow_samples) / len(slow_samples)
+        return cls(
+            threshold=(fast_mean + slow_mean) / 2.0,
+            slow_means_one=slow_means_one,
+        )
+
+
+def cached_lines(
+    probe_latencies: Sequence[float], hit_threshold: float
+) -> List[int]:
+    """Indices whose probe latency indicates a cache hit.
+
+    This is the reload half of FLUSH+RELOAD: Figure 4 lines 18-24
+    ("check which entry was modified ... print secret read from cache
+    channel").
+    """
+    return [
+        index
+        for index, latency in enumerate(probe_latencies)
+        if latency < hit_threshold
+    ]
+
+
+def probe_latencies_from_rdtsc(
+    rdtsc_values: Sequence, expected_probes: int
+) -> List[int]:
+    """Extract per-probe latencies from a probe program's RDTSC pairs.
+
+    The probe gadget brackets every reload with two RDTSC reads, so a
+    run measuring ``n`` lines yields ``2n`` readings.
+
+    Raises:
+        AttackError: If the reading count does not match.
+    """
+    if len(rdtsc_values) != 2 * expected_probes:
+        raise AttackError(
+            f"expected {2 * expected_probes} RDTSC readings, "
+            f"got {len(rdtsc_values)}"
+        )
+    values = [value for _, value in rdtsc_values]
+    return [values[2 * i + 1] - values[2 * i] for i in range(expected_probes)]

@@ -1,0 +1,116 @@
+"""The five-step attack schema (Section II / V of the paper).
+
+A value-predictor attack consists of: 1) **train**, 2) **modify**,
+3) **trigger** — which manipulate predictor state — followed by
+4) **encode** and 5) **decode**, which move the learnt information
+through a microarchitectural channel.  The first three steps are what
+the paper's model enumerates; the last two are channel business (see
+:mod:`repro.core.channels`).
+
+Besides the action, each state-changing step has an *access-count
+policy*: train steps usually make ``confidence`` accesses (so the
+next access is predicted), but some attacks use ``confidence - 1``
+(Spill Over's train) or a single access (every trigger; the
+invalidating flavour of modify).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.actions import Action, NONE_ACTION
+from repro.errors import ModelError
+
+
+class StepKind(enum.Enum):
+    """Which of the five steps a spec describes."""
+
+    TRAIN = "train"
+    MODIFY = "modify"
+    TRIGGER = "trigger"
+    ENCODE = "encode"
+    DECODE = "decode"
+
+
+class AccessCount(enum.Enum):
+    """How many accesses a step performs, relative to ``confidence``.
+
+    ``RETRAIN`` resolves to ``confidence + 1``: re-training an entry
+    that currently holds a *different* value costs one access to reset
+    the confidence counter (installing the new value at confidence 0,
+    as Figure 3's diagrams show) plus ``confidence`` matching accesses
+    to reach the prediction threshold.  The paper calls this a
+    "confidence number of accesses" counting only the matching ones.
+    """
+
+    CONFIDENCE = "confidence"
+    CONFIDENCE_MINUS_ONE = "confidence-1"
+    RETRAIN = "confidence+1"
+    ONE = "1"
+    ZERO = "0"
+
+    def resolve(self, confidence: int) -> int:
+        """Concrete access count for a predictor threshold."""
+        if confidence < 1:
+            raise ModelError(f"confidence must be >= 1, got {confidence}")
+        if self is AccessCount.CONFIDENCE:
+            return confidence
+        if self is AccessCount.CONFIDENCE_MINUS_ONE:
+            return confidence - 1
+        if self is AccessCount.RETRAIN:
+            return confidence + 1
+        if self is AccessCount.ONE:
+            return 1
+        return 0
+
+
+@dataclass(frozen=True)
+class StepSpec:
+    """One concrete step of an attack: an action plus an access count."""
+
+    kind: StepKind
+    action: Action
+    count: AccessCount
+
+    def __post_init__(self) -> None:
+        if self.action.is_none:
+            if self.kind is not StepKind.MODIFY:
+                raise ModelError("only the modify step may be empty")
+            if self.count is not AccessCount.ZERO:
+                raise ModelError("an empty step has a zero access count")
+        elif self.count is AccessCount.ZERO:
+            raise ModelError("a non-empty step needs at least one access")
+        if self.kind is StepKind.TRIGGER and self.count is not AccessCount.ONE:
+            raise ModelError(
+                "the trigger step is a single probing access (Section V-3)"
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        """True for the empty modify step."""
+        return self.action.is_none
+
+    def describe(self) -> str:
+        """Human-readable description, e.g. ``train: S^KI x confidence``."""
+        if self.is_empty:
+            return f"{self.kind.value}: —"
+        return f"{self.kind.value}: {self.action.symbol} x {self.count.value}"
+
+
+def train(action: Action, count: AccessCount = AccessCount.CONFIDENCE) -> StepSpec:
+    """Convenience constructor for a train step."""
+    return StepSpec(StepKind.TRAIN, action, count)
+
+
+def modify(action: Action = NONE_ACTION,
+           count: AccessCount = AccessCount.ZERO) -> StepSpec:
+    """Convenience constructor for a modify step (default: empty)."""
+    if action.is_none:
+        return StepSpec(StepKind.MODIFY, action, AccessCount.ZERO)
+    return StepSpec(StepKind.MODIFY, action, count)
+
+
+def trigger(action: Action) -> StepSpec:
+    """Convenience constructor for a trigger step (always one access)."""
+    return StepSpec(StepKind.TRIGGER, action, AccessCount.ONE)

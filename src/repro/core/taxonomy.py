@@ -1,0 +1,119 @@
+"""Taxonomy of timing-window microarchitectural channels (Figure 2).
+
+Figure 2 organises attacks-due-to-transient-execution by the channel
+they use.  For timing-window channels the signal is a pair of trigger
+outcomes; the paper's contribution is the first attack in the
+*no prediction vs. correct prediction* class, while the
+*no prediction vs. incorrect prediction* class has no known examples
+(our model excludes such pairs — see rule 9 in
+:mod:`repro.core.model`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+from repro.core.model import AttackCategory, TriggerOutcome
+from repro.errors import ModelError
+
+
+class TimingWindowClass(enum.Enum):
+    """The three timing-window signal classes of Figure 2."""
+
+    MISPREDICT_VS_CORRECT = "misprediction vs. correct prediction"
+    NOPRED_VS_CORRECT = "no prediction vs. correct prediction"
+    NOPRED_VS_MISPREDICT = "no prediction vs. incorrect prediction"
+
+
+@dataclass(frozen=True)
+class TaxonomyEntry:
+    """One leaf of the Figure 2 taxonomy."""
+
+    signal_class: TimingWindowClass
+    known_examples: Tuple[str, ...]
+    novel_in_paper: bool
+
+    @property
+    def has_known_examples(self) -> bool:
+        """True when prior work populates this class."""
+        return bool(self.known_examples)
+
+
+#: Figure 2's classification of prior work and this paper.
+FIGURE_2: Tuple[TaxonomyEntry, ...] = (
+    TaxonomyEntry(
+        signal_class=TimingWindowClass.MISPREDICT_VS_CORRECT,
+        known_examples=("BranchScope [4]", "Jump over ASLR [3]", "This Work"),
+        novel_in_paper=False,
+    ),
+    TaxonomyEntry(
+        signal_class=TimingWindowClass.NOPRED_VS_CORRECT,
+        known_examples=("This Work",),
+        novel_in_paper=True,
+    ),
+    TaxonomyEntry(
+        signal_class=TimingWindowClass.NOPRED_VS_MISPREDICT,
+        known_examples=(),
+        novel_in_paper=False,
+    ),
+)
+
+
+def classify_pair(
+    first: TriggerOutcome, second: TriggerOutcome
+) -> TimingWindowClass:
+    """Which Figure 2 class a trigger-outcome pair falls into.
+
+    Raises:
+        ModelError: For equal outcomes (no signal, not a channel).
+    """
+    pair: FrozenSet[TriggerOutcome] = frozenset({first, second})
+    if len(pair) < 2:
+        raise ModelError(
+            f"outcome pair ({first.value}, {second.value}) carries no signal"
+        )
+    if pair == frozenset(
+        {TriggerOutcome.MISPREDICT, TriggerOutcome.CORRECT}
+    ):
+        return TimingWindowClass.MISPREDICT_VS_CORRECT
+    if pair == frozenset(
+        {TriggerOutcome.NO_PREDICTION, TriggerOutcome.CORRECT}
+    ):
+        return TimingWindowClass.NOPRED_VS_CORRECT
+    return TimingWindowClass.NOPRED_VS_MISPREDICT
+
+
+def classes_of_category(category: AttackCategory) -> List[TimingWindowClass]:
+    """Timing-window classes an attack category can realise.
+
+    Derived from the model's admissible outcome pairs for the
+    category's Table II patterns.
+    """
+    from repro.core.model import effective_attacks
+
+    classes: List[TimingWindowClass] = []
+    for classification in effective_attacks():
+        if classification.category is not category:
+            continue
+        for pair in classification.outcome_pairs:
+            signal_class = classify_pair(*pair)
+            if signal_class not in classes:
+                classes.append(signal_class)
+    return classes
+
+
+def novel_classes() -> List[TimingWindowClass]:
+    """Classes first demonstrated by the paper."""
+    return [entry.signal_class for entry in FIGURE_2 if entry.novel_in_paper]
+
+
+def render_figure2() -> str:
+    """ASCII rendering of Figure 2's taxonomy for reports."""
+    lines = ["Timing-window microarchitectural channels (Figure 2):"]
+    for entry in FIGURE_2:
+        examples = ", ".join(entry.known_examples) or "(No known examples)"
+        marker = "  <- NEW in this paper" if entry.novel_in_paper else ""
+        lines.append(f"  - {entry.signal_class.value}: {examples}{marker}")
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""libgcrypt-style RSA victim and the exponent-leak case study."""
+
+from repro.crypto.compile import RsaLayout, victim_iteration_program
+from repro.crypto.keyrec import (
+    BitEstimate,
+    brute_force_budget,
+    majority_vote,
+    reconstruct_exponent,
+    uncertain_positions,
+)
+from repro.crypto.leak import RsaAttackConfig, RsaAttackResult, RsaVpAttack
+from repro.crypto.mpi import LIMB_BITS, Mpi
+from repro.crypto.powm import (
+    PowmIteration,
+    exponent_bits,
+    powm,
+    powm_base_blinded,
+    powm_int,
+)
+
+__all__ = [
+    "BitEstimate",
+    "LIMB_BITS",
+    "Mpi",
+    "PowmIteration",
+    "RsaAttackConfig",
+    "RsaAttackResult",
+    "RsaLayout",
+    "RsaVpAttack",
+    "brute_force_budget",
+    "exponent_bits",
+    "majority_vote",
+    "powm",
+    "powm_base_blinded",
+    "powm_int",
+    "reconstruct_exponent",
+    "uncertain_positions",
+    "victim_iteration_program",
+]

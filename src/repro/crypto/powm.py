@@ -1,0 +1,124 @@
+"""Modular exponentiation with the libgcrypt structure of Figure 6.
+
+``powm`` is a left-to-right square-and-multiply with the two
+properties the paper's case study relies on:
+
+* the multiply is **unconditional** ("unconditional multiply if
+  exponent is secret to mitigate FLUSH+RELOAD") — the classic cache
+  side channel is closed; and
+* the **pointer swap** (``tp = rp; rp = xp; xp = tp``) still happens
+  only when the exponent bit is 1 (Figure 6 lines 16-20).  The *index*
+  of that conditional ``tp`` access is what the value-predictor attack
+  leaks, one bit per loop iteration (Figure 7).
+
+The function returns both the result and a per-iteration trace that
+records whether the swap executed — the ground truth the key-recovery
+evaluation scores against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.crypto.mpi import Mpi, ONE
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class PowmIteration:
+    """Ground-truth record of one square-and-multiply iteration.
+
+    Attributes:
+        bit_index: Exponent bit position (MSB first, 0 = first
+            processed bit).
+        e_bit: The exponent bit value.
+        swapped: Whether the conditional pointer swap executed
+            (always equals ``e_bit`` — recorded separately because it
+            is the *microarchitectural* event the attack observes).
+    """
+
+    bit_index: int
+    e_bit: int
+    swapped: bool
+
+
+def exponent_bits(exponent: Mpi) -> List[int]:
+    """The exponent's bits, most significant first."""
+    value = exponent.to_int()
+    if value == 0:
+        return []
+    return [int(bit) for bit in bin(value)[2:]]
+
+
+def powm(base: Mpi, exponent: Mpi, modulus: Mpi) -> Tuple[Mpi, List[PowmIteration]]:
+    """Compute ``base ** exponent mod modulus``; also return the trace.
+
+    Raises:
+        CryptoError: For a zero modulus.
+    """
+    if modulus.is_zero():
+        raise CryptoError("powm requires a non-zero modulus")
+    base = base.mod(modulus)
+    rp = ONE.mod(modulus)  # result pointer ("rp" in Figure 6)
+    trace: List[PowmIteration] = []
+    for bit_index, e_bit in enumerate(exponent_bits(exponent)):
+        # _gcry_mpih_sqr_n_basecase(xp, rp): square into the scratch.
+        xp = rp.sqr().mod(modulus)
+        # Unconditional multiply (FLUSH+RELOAD mitigation): computed
+        # whether or not the bit uses it.
+        multiplied = xp.mul(base).mod(modulus)
+        if e_bit:
+            # tp = rp; rp = xp; xp = tp — the conditional swap whose
+            # access index the value predictor leaks.
+            rp = multiplied
+            swapped = True
+        else:
+            rp = xp
+            swapped = False
+        trace.append(
+            PowmIteration(bit_index=bit_index, e_bit=e_bit, swapped=swapped)
+        )
+    return rp, trace
+
+
+def powm_int(base: int, exponent: int, modulus: int) -> int:
+    """Integer convenience wrapper around :func:`powm`."""
+    result, _ = powm(
+        Mpi.from_int(base), Mpi.from_int(exponent), Mpi.from_int(modulus)
+    )
+    return result.to_int()
+
+
+def powm_base_blinded(
+    base: Mpi,
+    exponent: Mpi,
+    modulus: Mpi,
+    blinding_factor: Mpi,
+) -> Tuple[Mpi, List[PowmIteration]]:
+    """Base-blinded modular exponentiation.
+
+    Message/base blinding computes ``(base * r) ** e mod m`` on a fresh
+    random ``r`` each invocation and unblinds the result with
+    ``r^-e``; here the caller supplies ``r`` and receives the *blinded*
+    result plus the iteration trace (unblinding needs the modular
+    inverse, which the attack neither has nor needs).
+
+    The point the paper makes in Section IV-D1: blinding randomises the
+    *data* flowing through the multiply, but the conditional swap
+    pattern still follows the constant secret exponent bit for bit —
+    so the value-predictor attack's per-iteration observable is
+    untouched.  "It is not possible to extract the blinding factor, as
+    it is random each time, while the secret is constant and gets
+    trained into the value predictor."
+
+    Raises:
+        CryptoError: For a zero modulus or a blinding factor that is
+            zero modulo the modulus.
+    """
+    if modulus.is_zero():
+        raise CryptoError("powm requires a non-zero modulus")
+    blinded_base = base.mul(blinding_factor).mod(modulus)
+    if blinded_base.is_zero() and not base.is_zero():
+        raise CryptoError("blinding factor must be non-zero modulo m")
+    return powm(blinded_base, exponent, modulus)

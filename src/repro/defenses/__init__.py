@@ -1,0 +1,28 @@
+"""Value-predictor defenses (Section VI of the paper).
+
+* :class:`~repro.defenses.always_predict.AlwaysPredictDefense` — A-type.
+* :class:`~repro.defenses.delay_effects.DelaySideEffectsDefense` — D-type.
+* :class:`~repro.defenses.random_window.RandomWindowDefense` — R-type.
+* :class:`~repro.defenses.invisispec.InvisiSpecDefense` — the existing
+  transient-execution defense the paper's attacks bypass.
+* :class:`~repro.defenses.composite.DefenseStack` — combinations.
+"""
+
+from repro.defenses.always_predict import AlwaysPredictDefense, AlwaysPredictWrapper
+from repro.defenses.base import Defense
+from repro.defenses.composite import DefenseStack, full_stack
+from repro.defenses.delay_effects import DelaySideEffectsDefense
+from repro.defenses.invisispec import InvisiSpecDefense
+from repro.defenses.random_window import RandomWindowDefense, RandomWindowWrapper
+
+__all__ = [
+    "AlwaysPredictDefense",
+    "AlwaysPredictWrapper",
+    "Defense",
+    "DefenseStack",
+    "DelaySideEffectsDefense",
+    "InvisiSpecDefense",
+    "RandomWindowDefense",
+    "RandomWindowWrapper",
+    "full_stack",
+]

@@ -1,0 +1,33 @@
+"""D-type defense: delay microarchitectural side effects.
+
+From the paper (Section VI-A): "Delay side-effects (D-type) defense
+targets delaying the microarchitectural state changes and can only be
+used for preventing value predictor attacks based on persistent
+channels."
+
+The mechanism lives in the pipeline (see
+:attr:`repro.pipeline.config.CoreConfig.delay_speculative_fills`):
+cache fills performed by instructions that data-depend on an
+*unverified* value prediction are buffered; they are applied only once
+the prediction verifies correct, and are dropped when the speculative
+work is squashed.  A Spectre-style encode load (``arr2[x*512]`` with a
+predicted ``x``) therefore leaves no cache footprint unless the
+prediction was right — closing the persistent channel while leaving
+every timing-window channel untouched, exactly the limitation the
+paper states.
+"""
+
+from __future__ import annotations
+
+from repro.defenses.base import Defense
+from repro.pipeline.config import CoreConfig
+
+
+class DelaySideEffectsDefense(Defense):
+    """D-type defense: gate speculative-dependent cache fills."""
+
+    name = "D"
+
+    def adjust_config(self, config: CoreConfig) -> CoreConfig:
+        """See :meth:`repro.defenses.base.Defense.adjust_config`."""
+        return self._replace_config(config, delay_speculative_fills=True)

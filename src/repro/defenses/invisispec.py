@@ -1,0 +1,35 @@
+"""InvisiSpec-like baseline defense.
+
+The paper notes (Section VI): "Security defenses such as InvisiSpec
+can prevent existing transient execution attacks, but have not
+considered value prediction in particular, and are not effective
+against our new attacks."
+
+This baseline defers *every* load's cache fill until the load commits
+(an invisible speculative buffer).  It closes classic transient-
+execution cache channels, but:
+
+* timing-window value-predictor attacks are untouched — they measure
+  execution latency, not cache state; and
+* the Test+Hit persistent channel still leaks in the *mapped* case:
+  a correct prediction lets the encode load commit, at which point its
+  fill becomes architecturally visible anyway.
+
+The extension bench ``bench_invisispec_bypass`` demonstrates both
+bypasses.
+"""
+
+from __future__ import annotations
+
+from repro.defenses.base import Defense
+from repro.pipeline.config import CoreConfig
+
+
+class InvisiSpecDefense(Defense):
+    """Defer all load fills to commit time (InvisiSpec-like)."""
+
+    name = "InvisiSpec"
+
+    def adjust_config(self, config: CoreConfig) -> CoreConfig:
+        """See :meth:`repro.defenses.base.Defense.adjust_config`."""
+        return self._replace_config(config, invisispec=True)

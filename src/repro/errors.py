@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this package derive from :class:`ReproError`
+so callers can catch package-level failures with a single handler.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class IsaError(ReproError):
+    """Raised for malformed instructions or programs."""
+
+
+class AssemblyError(IsaError):
+    """Raised when textual assembly cannot be parsed."""
+
+
+class MemoryError_(ReproError):
+    """Raised for invalid memory-system configuration or access.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError`.
+    """
+
+
+class PredictorError(ReproError):
+    """Raised for invalid value-predictor configuration or use."""
+
+
+class PipelineError(ReproError):
+    """Raised when the pipeline model reaches an inconsistent state."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation cannot make forward progress."""
+
+
+class AttackError(ReproError):
+    """Raised for invalid attack specifications."""
+
+
+class ModelError(ReproError):
+    """Raised for invalid attack-model queries."""
+
+
+class StatsError(ReproError):
+    """Raised for invalid statistical computations (e.g. empty samples)."""
+
+
+class CryptoError(ReproError):
+    """Raised for invalid bignum or modular-exponentiation inputs."""
+
+
+class HarnessError(ReproError):
+    """Raised for invalid experiment configurations."""

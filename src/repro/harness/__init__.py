@@ -1,0 +1,60 @@
+"""Experiment harness: drivers and renderers for every table/figure."""
+
+from repro.harness.experiment import (
+    FIGURE7_EXPONENT,
+    defense_matrix,
+    figure5_panels,
+    figure7_result,
+    figure8_panels,
+    predictor_comparison,
+    run_cell,
+    table3_results,
+    window_sweep,
+)
+from repro.harness.persistence import (
+    experiment_record,
+    rsa_record,
+    run_all,
+    save_json,
+    save_text,
+)
+from repro.harness.figures import (
+    render_figure,
+    render_histogram_panel,
+    render_iteration_scatter,
+)
+from repro.harness.report import figure7_report, figure_report, table3_report
+from repro.harness.tables import (
+    render_defense_matrix,
+    render_defense_sweep,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+
+__all__ = [
+    "FIGURE7_EXPONENT",
+    "defense_matrix",
+    "experiment_record",
+    "figure5_panels",
+    "figure7_report",
+    "figure7_result",
+    "figure8_panels",
+    "figure_report",
+    "predictor_comparison",
+    "render_defense_matrix",
+    "render_defense_sweep",
+    "render_figure",
+    "render_histogram_panel",
+    "render_iteration_scatter",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "rsa_record",
+    "run_all",
+    "save_json",
+    "save_text",
+    "run_cell",
+    "table3_results",
+    "window_sweep",
+]

@@ -1,0 +1,187 @@
+"""Persist reproduction artifacts to disk.
+
+``run_all`` regenerates the paper's core artifacts and writes, per
+artifact, both a machine-readable JSON record and the human-readable
+rendering the benches print.  This gives a reproduction run a durable
+trail: what was measured, with which configuration, against which
+paper values.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro._version import __version__
+from repro.core.attack import ExperimentResult
+from repro.core.model import verdict_summary
+from repro.crypto.leak import RsaAttackResult
+from repro.errors import HarnessError
+from repro.harness.experiment import (
+    figure5_panels,
+    figure7_result,
+    figure8_panels,
+    table3_results,
+)
+from repro.harness.report import figure7_report, figure_report, table3_report
+from repro.harness.tables import render_table1, render_table2
+
+
+def experiment_record(result: ExperimentResult) -> Dict[str, object]:
+    """A JSON-serialisable record of one experiment cell."""
+    return {
+        "variant": result.variant_name,
+        "category": result.category.value,
+        "channel": result.channel.value,
+        "predictor": result.predictor_name,
+        "defense": result.defense_name,
+        "pvalue": float(result.pvalue),
+        "effective": bool(result.attack_succeeds),
+        "mapped_mean": float(result.comparison.mapped.mean),
+        "unmapped_mean": float(result.comparison.unmapped.mean),
+        "mapped_samples": len(result.comparison.mapped),
+        "transmission_rate_kbps": float(result.transmission_rate_kbps),
+        "mean_trial_cycles": float(result.mean_trial_cycles),
+    }
+
+
+def rsa_record(result: RsaAttackResult) -> Dict[str, object]:
+    """A JSON-serialisable record of the Figure 7 run."""
+    return {
+        "bits": len(result.true_bits),
+        "success_rate": float(result.success_rate),
+        "transmission_rate_kbps": float(result.transmission_rate_kbps),
+        "threshold": float(result.threshold),
+        "decoded_bits": list(result.decoded_bits),
+        "true_bits": list(result.true_bits),
+        "observations": [float(value) for value in result.observations],
+    }
+
+
+def save_json(path: str, payload: object) -> None:
+    """Write ``payload`` as pretty-printed JSON.
+
+    Raises:
+        HarnessError: If the parent directory does not exist.
+    """
+    directory = os.path.dirname(path) or "."
+    if not os.path.isdir(directory):
+        raise HarnessError(f"output directory {directory!r} does not exist")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def save_text(path: str, text: str) -> None:
+    """Write a rendered artifact."""
+    directory = os.path.dirname(path) or "."
+    if not os.path.isdir(directory):
+        raise HarnessError(f"output directory {directory!r} does not exist")
+    with open(path, "w") as handle:
+        handle.write(text)
+        if not text.endswith("\n"):
+            handle.write("\n")
+
+
+def run_all(
+    out_dir: str,
+    n_runs: int = 100,
+    seed: int = 0,
+    artifacts: Optional[List[str]] = None,
+) -> Dict[str, str]:
+    """Regenerate and persist the selected artifacts.
+
+    Args:
+        out_dir: Existing directory to write into.
+        n_runs: Trials per hypothesis for the attack experiments.
+        seed: Base seed.
+        artifacts: Subset of {"table1", "table2", "fig5", "fig7",
+            "fig8", "table3"}; all of them when omitted.
+
+    Returns:
+        Mapping from artifact name to the path of its rendering.
+
+    Raises:
+        HarnessError: For unknown artifact names or a missing out_dir.
+    """
+    if not os.path.isdir(out_dir):
+        raise HarnessError(f"output directory {out_dir!r} does not exist")
+    known = ("table1", "table2", "fig5", "fig7", "fig8", "table3")
+    chosen = list(artifacts) if artifacts is not None else list(known)
+    for name in chosen:
+        if name not in known:
+            raise HarnessError(f"unknown artifact {name!r}; choose from {known}")
+
+    written: Dict[str, str] = {}
+    meta = {"version": __version__, "n_runs": n_runs, "seed": seed}
+
+    if "table1" in chosen:
+        path = os.path.join(out_dir, "table1.txt")
+        save_text(path, render_table1())
+        written["table1"] = path
+    if "table2" in chosen:
+        path = os.path.join(out_dir, "table2.txt")
+        save_text(path, render_table2())
+        save_json(
+            os.path.join(out_dir, "table2.json"),
+            {**meta, "verdicts": {
+                verdict.value: count
+                for verdict, count in verdict_summary().items()
+            }},
+        )
+        written["table2"] = path
+    if "fig5" in chosen:
+        panels = figure5_panels(n_runs=n_runs, seed=seed)
+        path = os.path.join(out_dir, "fig5.txt")
+        save_text(path, figure_report(
+            "Figure 5: Train + Test attacks", panels,
+            mapped_label="mapped index", unmapped_label="unmapped index",
+        ))
+        save_json(
+            os.path.join(out_dir, "fig5.json"),
+            {**meta, "panels": {
+                title: experiment_record(result)
+                for title, result in panels
+            }},
+        )
+        written["fig5"] = path
+    if "fig8" in chosen:
+        panels = figure8_panels(n_runs=n_runs, seed=seed)
+        path = os.path.join(out_dir, "fig8.txt")
+        save_text(path, figure_report(
+            "Figure 8: Test + Hit attacks", panels,
+            mapped_label="mapped data", unmapped_label="unmapped data",
+        ))
+        save_json(
+            os.path.join(out_dir, "fig8.json"),
+            {**meta, "panels": {
+                title: experiment_record(result)
+                for title, result in panels
+            }},
+        )
+        written["fig8"] = path
+    if "fig7" in chosen:
+        result = figure7_result()
+        path = os.path.join(out_dir, "fig7.txt")
+        save_text(path, figure7_report(result))
+        save_json(os.path.join(out_dir, "fig7.json"),
+                  {**meta, **rsa_record(result)})
+        written["fig7"] = path
+    if "table3" in chosen:
+        results = table3_results(n_runs=n_runs, seed=seed)
+        path = os.path.join(out_dir, "table3.txt")
+        save_text(path, table3_report(results))
+        save_json(
+            os.path.join(out_dir, "table3.json"),
+            {**meta, "cells": {
+                category.value: {
+                    cell: (experiment_record(result)
+                           if result is not None else None)
+                    for cell, result in cells.items()
+                }
+                for category, cells in results.items()
+            }},
+        )
+        written["table3"] = path
+    return written

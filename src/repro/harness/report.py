@@ -1,0 +1,73 @@
+"""Composite report rendering: experiment results to readable text."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.attack import ExperimentResult
+from repro.core.model import AttackCategory
+from repro.crypto.leak import RsaAttackResult
+from repro.harness.figures import render_figure, render_iteration_scatter
+from repro.harness.tables import render_table3
+
+
+def figure_report(
+    figure_title: str,
+    panels: List[Tuple[str, ExperimentResult]],
+    mapped_label: str = "mapped",
+    unmapped_label: str = "unmapped",
+) -> str:
+    """Render a Figure 5/8-style multi-panel report."""
+    return render_figure(
+        figure_title,
+        [
+            (title, result.comparison.mapped, result.comparison.unmapped,
+             result.pvalue)
+            for title, result in panels
+        ],
+        mapped_label=mapped_label,
+        unmapped_label=unmapped_label,
+    )
+
+
+def figure7_report(result: RsaAttackResult) -> str:
+    """Render the Figure 7 scatter plus the headline metrics."""
+    scatter = render_iteration_scatter(
+        "Figure 7: receiver observation per powm iteration",
+        result.observations,
+        result.true_bits,
+    )
+    summary = (
+        f"bit success rate: {result.success_rate * 100:.1f}%  "
+        f"(paper: 95.7%)\n"
+        f"transmission rate: {result.transmission_rate_kbps:.2f} Kbps  "
+        f"(paper: 9.65 Kbps)\n"
+        f"decode threshold: {result.threshold:.1f} cycles"
+    )
+    return f"{scatter}\n\n{summary}"
+
+
+def table3_report(
+    results: Dict[AttackCategory, Dict[str, Optional[ExperimentResult]]],
+) -> str:
+    """Render Table III plus a pass/fail summary of its expected shape."""
+    table = render_table3(results)
+    checks: List[str] = []
+    for category, cells in results.items():
+        for key, result in cells.items():
+            if result is None:
+                continue
+            expect_effective = key.endswith("_vp")
+            ok = result.attack_succeeds == expect_effective
+            if not ok:
+                checks.append(
+                    f"  SHAPE MISMATCH: {category.value} {key} "
+                    f"p={result.pvalue:.4f}"
+                )
+    verdict = (
+        "shape check: all cells match the paper "
+        "(VP cells effective, no-VP cells not)"
+        if not checks
+        else "shape check FAILURES:\n" + "\n".join(checks)
+    )
+    return f"{table}\n{verdict}"

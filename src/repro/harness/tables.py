@@ -1,0 +1,169 @@
+"""ASCII renderers for the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.actions import MODIFY_ACTIONS, TRAIN_ACTIONS
+from repro.core.attack import ExperimentResult
+from repro.core.model import (
+    AttackCategory,
+    Classification,
+    effective_attacks,
+    verdict_summary,
+)
+from repro.stats.ttest import ALPHA
+
+
+def render_table1() -> str:
+    """Table I: the action alphabet of the three state-changing steps."""
+    descriptions = {
+        "S^KD": "Sender accesses data it knows.",
+        "S^KI": "Sender accesses an index it knows.",
+        "R^KD": "Receiver accesses data it knows.",
+        "R^KI": "Receiver accesses an index it knows.",
+        "S^SD'": "Sender accesses secret data the receiver tries to learn.",
+        "S^SD''": "Sender accesses a possibly-different secret datum.",
+        "S^SI'": "Sender accesses a secret-dependent index.",
+        "S^SI''": "Sender accesses a possibly-different secret index.",
+        "—": "This step is not used (modify step only).",
+    }
+    lines = [
+        "Table I: possible actions for each step of value predictor attacks",
+        f"{'Action':8s} Description",
+        "-" * 70,
+    ]
+    for action in TRAIN_ACTIONS:
+        lines.append(f"{action.symbol:8s} {descriptions[action.symbol]}")
+    lines.append(f"{'—':8s} {descriptions['—']}")
+    lines.append("-" * 70)
+    lines.append(
+        f"train: {len(TRAIN_ACTIONS)} actions x modify: "
+        f"{len(MODIFY_ACTIONS)} x trigger: {len(TRAIN_ACTIONS)} = "
+        f"{len(TRAIN_ACTIONS) * len(MODIFY_ACTIONS) * len(TRAIN_ACTIONS)} "
+        "combinations"
+    )
+    return "\n".join(lines)
+
+
+def render_table2(
+    classifications: Optional[Sequence[Classification]] = None,
+) -> str:
+    """Table II: the 12 effective attack variants from the model."""
+    attacks = (
+        list(classifications)
+        if classifications is not None
+        else effective_attacks()
+    )
+    summary = verdict_summary()
+    lines = [
+        "Table II: value predictor attacks surviving the model's rules",
+        f"{'Step 1 (Train)':16s} {'Step 2 (Modify)':16s} "
+        f"{'Step 3 (Trigger)':16s} Attack Category",
+        "-" * 72,
+    ]
+    for classification in attacks:
+        combo = classification.combo
+        lines.append(
+            f"{combo.train.symbol:16s} {combo.modify.symbol:16s} "
+            f"{combo.trigger.symbol:16s} {classification.category.value}"
+        )
+    lines.append("-" * 72)
+    lines.append(
+        "combinations: "
+        + ", ".join(f"{v.value}={n}" for v, n in summary.items())
+    )
+    return "\n".join(lines)
+
+
+def _fmt_cell(pvalue: Optional[float], rate: Optional[float]) -> str:
+    """One Table III cell: p-value, effectiveness marker, and rate."""
+    if pvalue is None:
+        return f"{'—':>21s}"
+    marker = "*" if pvalue < ALPHA else " "
+    if rate is not None and pvalue < ALPHA:
+        return f"{pvalue:7.4f}{marker} ({rate:5.2f}Kbps)"
+    return f"{pvalue:7.4f}{marker}" + " " * 13
+
+
+def render_table3(
+    results: Dict[AttackCategory, Dict[str, Optional[ExperimentResult]]],
+) -> str:
+    """Table III: p-values and transmission rates for every category.
+
+    Args:
+        results: ``{category: {cell: result}}`` where ``cell`` is one
+            of ``tw_novp``, ``tw_vp``, ``pc_novp``, ``pc_vp`` and a
+            missing/None entry renders as "—" (attack does not support
+            the channel, per Table II).
+    """
+    header = (
+        f"{'Attack Category':16s} | {'TW no-VP':>21s} | {'TW VP':>21s} | "
+        f"{'Pers. no-VP':>21s} | {'Pers. VP':>21s}"
+    )
+    lines = [
+        "Table III: attack evaluation ('*' marks pvalue < 0.05 = effective)",
+        header,
+        "-" * len(header),
+    ]
+    for category in AttackCategory:
+        if category not in results:
+            continue
+        cells = results[category]
+
+        def cell_text(key: str) -> str:
+            result = cells.get(key)
+            if result is None:
+                return f"{'—':>21s}"
+            return _fmt_cell(result.pvalue, result.transmission_rate_kbps)
+
+        lines.append(
+            f"{category.value:16s} | {cell_text('tw_novp')} | "
+            f"{cell_text('tw_vp')} | {cell_text('pc_novp')} | "
+            f"{cell_text('pc_vp')}"
+        )
+    return "\n".join(lines)
+
+
+def render_defense_sweep(
+    attack_name: str, rows: List, secure_at: Optional[int]
+) -> str:
+    """A Section VI-B window sweep: (window, pvalue) rows."""
+    lines = [
+        f"R-type window sweep for {attack_name} "
+        "(secure when pvalue > 0.05)",
+        f"{'window S':>9s} {'pvalue':>9s}  verdict",
+        "-" * 34,
+    ]
+    for window, pvalue in rows:
+        verdict = "secure" if pvalue >= ALPHA else "attack works"
+        lines.append(f"{window:9d} {pvalue:9.4f}  {verdict}")
+    lines.append("-" * 34)
+    if secure_at is not None:
+        lines.append(f"minimal secure window size: {secure_at}")
+    else:
+        lines.append("no secure window found in the sweep range")
+    return "\n".join(lines)
+
+
+def render_defense_matrix(rows: List[Dict[str, object]]) -> str:
+    """Defense-vs-attack effectiveness matrix (Section VI-B).
+
+    Args:
+        rows: dicts with keys ``attack``, ``channel``, ``defense``,
+            ``pvalue``.
+    """
+    lines = [
+        "Defense evaluation ('blocked' = pvalue >= 0.05)",
+        f"{'Attack':16s} {'Channel':14s} {'Defense':22s} "
+        f"{'pvalue':>8s}  outcome",
+        "-" * 76,
+    ]
+    for row in rows:
+        pvalue = float(row["pvalue"])
+        outcome = "blocked" if pvalue >= ALPHA else "ATTACK WORKS"
+        lines.append(
+            f"{str(row['attack']):16s} {str(row['channel']):14s} "
+            f"{str(row['defense']):22s} {pvalue:8.4f}  {outcome}"
+        )
+    return "\n".join(lines)

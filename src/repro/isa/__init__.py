@@ -1,0 +1,48 @@
+"""Mini ISA: instructions, programs, builder, and assembler.
+
+The substrate the attack workloads are written in.  See
+:mod:`repro.isa.instructions` for the instruction set and
+:mod:`repro.isa.builder` for the programmatic front-end.
+"""
+
+from repro.isa.assembler import assemble
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import (
+    INSTRUCTION_BYTES,
+    NUM_REGISTERS,
+    AluOp,
+    Instruction,
+    Opcode,
+    alu,
+    fence,
+    flush,
+    halt,
+    li,
+    load,
+    nop,
+    rdtsc,
+    store,
+)
+from repro.isa.program import LoopRegion, PlacedInstruction, Program
+
+__all__ = [
+    "INSTRUCTION_BYTES",
+    "NUM_REGISTERS",
+    "AluOp",
+    "Instruction",
+    "LoopRegion",
+    "Opcode",
+    "PlacedInstruction",
+    "Program",
+    "ProgramBuilder",
+    "alu",
+    "assemble",
+    "fence",
+    "flush",
+    "halt",
+    "li",
+    "load",
+    "nop",
+    "rdtsc",
+    "store",
+]

@@ -1,0 +1,193 @@
+"""Text assembler for the mini ISA.
+
+A convenience front-end for tests and examples; attack workloads are
+normally generated with :class:`~repro.isa.builder.ProgramBuilder`.
+
+Syntax (one statement per line; ``;`` and ``#`` start comments)::
+
+    label:                  ; bind a label to the next instruction
+    .pin 0x40               ; pad with nops so next instruction is at PC 0x40
+    .loop 4                 ; open a counted loop (same PCs each iteration)
+    .endloop                ; close the innermost loop
+    nop
+    li    r1, 0x100
+    add   r2, r1, r3        ; register form
+    add   r2, r1, 5         ; immediate form
+    mul   r2, r1, r3
+    load  r3, [r1+0x40]     ; base+offset
+    load  r3, [0x200]       ; absolute
+    store [r1+8], r2
+    flush [0x200]
+    fence
+    rdtsc r9
+    halt
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import AssemblyError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import AluOp
+from repro.isa.program import Program
+
+_ALU_MNEMONICS = {op.value: op for op in AluOp}
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+_REG_RE = re.compile(r"^r(\d+)$")
+_MEM_RE = re.compile(r"^\[\s*(?:(r\d+)\s*\+\s*)?([^\]\s]+)\s*\]$")
+
+
+def _parse_int(token: str, line_number: int) -> int:
+    """Parse a decimal, hex (0x), or binary (0b) integer literal."""
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(
+            f"line {line_number}: expected integer, got {token!r}"
+        ) from None
+
+
+def _parse_register(token: str, line_number: int) -> int:
+    match = _REG_RE.match(token)
+    if not match:
+        raise AssemblyError(f"line {line_number}: expected register, got {token!r}")
+    return int(match.group(1))
+
+
+def _parse_memory_operand(
+    token: str, line_number: int
+) -> Tuple[Optional[int], int]:
+    """Parse ``[base+off]`` or ``[addr]`` into (base register, offset)."""
+    match = _MEM_RE.match(token)
+    if not match:
+        raise AssemblyError(
+            f"line {line_number}: expected memory operand like [r1+0x40], got {token!r}"
+        )
+    base_token, offset_token = match.groups()
+    base = int(base_token[1:]) if base_token else None
+    offset = _parse_int(offset_token, line_number)
+    return base, offset
+
+
+def _split_operands(rest: str) -> List[str]:
+    """Split an operand string on top-level commas."""
+    operands: List[str] = []
+    depth = 0
+    current = ""
+    for char in rest:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            operands.append(current.strip())
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        operands.append(current.strip())
+    return operands
+
+
+def assemble(
+    source: str,
+    name: str = "asm",
+    pid: int = 0,
+    base_pc: int = 0,
+) -> Program:
+    """Assemble ``source`` text into a :class:`~repro.isa.program.Program`.
+
+    Raises:
+        AssemblyError: On any syntax or operand error, with the
+            offending line number in the message.
+    """
+    builder = ProgramBuilder(name=name, pid=pid, base_pc=base_pc)
+    open_loops: List[object] = []
+
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.split(";")[0].split("#")[0].strip()
+        if not line:
+            continue
+
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            builder.label(label_match.group(1))
+            continue
+
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        operands = _split_operands(rest)
+
+        if mnemonic == ".pin":
+            _require(operands, 1, line_number, mnemonic)
+            builder.pin_pc(_parse_int(operands[0], line_number))
+        elif mnemonic == ".loop":
+            _require(operands, 1, line_number, mnemonic)
+            context = builder.loop(_parse_int(operands[0], line_number))
+            context.__enter__()
+            open_loops.append(context)
+        elif mnemonic == ".endloop":
+            if not open_loops:
+                raise AssemblyError(f"line {line_number}: .endloop without .loop")
+            open_loops.pop().__exit__(None, None, None)
+        elif mnemonic == "nop":
+            builder.nop()
+        elif mnemonic == "li":
+            _require(operands, 2, line_number, mnemonic)
+            builder.li(
+                _parse_register(operands[0], line_number),
+                _parse_int(operands[1], line_number),
+            )
+        elif mnemonic in _ALU_MNEMONICS:
+            _require(operands, 3, line_number, mnemonic)
+            dst = _parse_register(operands[0], line_number)
+            src1 = _parse_register(operands[1], line_number)
+            if _REG_RE.match(operands[2]):
+                builder.alu(_ALU_MNEMONICS[mnemonic], dst, src1,
+                            src2=_parse_register(operands[2], line_number))
+            else:
+                builder.alu(_ALU_MNEMONICS[mnemonic], dst, src1,
+                            imm=_parse_int(operands[2], line_number))
+        elif mnemonic == "load":
+            _require(operands, 2, line_number, mnemonic)
+            dst = _parse_register(operands[0], line_number)
+            base, offset = _parse_memory_operand(operands[1], line_number)
+            builder.load(dst, base=base, imm=offset)
+        elif mnemonic == "store":
+            _require(operands, 2, line_number, mnemonic)
+            base, offset = _parse_memory_operand(operands[0], line_number)
+            data = _parse_register(operands[1], line_number)
+            builder.store(data, base=base, imm=offset)
+        elif mnemonic == "flush":
+            _require(operands, 1, line_number, mnemonic)
+            base, offset = _parse_memory_operand(operands[0], line_number)
+            builder.flush(base=base, imm=offset)
+        elif mnemonic == "fence":
+            builder.fence()
+        elif mnemonic == "rdtsc":
+            _require(operands, 1, line_number, mnemonic)
+            builder.rdtsc(_parse_register(operands[0], line_number))
+        elif mnemonic == "halt":
+            builder.halt()
+        else:
+            raise AssemblyError(
+                f"line {line_number}: unknown mnemonic {mnemonic!r}"
+            )
+
+    if open_loops:
+        raise AssemblyError("unterminated .loop block at end of source")
+    return builder.build()
+
+
+def _require(
+    operands: List[str], count: int, line_number: int, mnemonic: str
+) -> None:
+    if len(operands) != count:
+        raise AssemblyError(
+            f"line {line_number}: {mnemonic} expects {count} operand(s), "
+            f"got {len(operands)}"
+        )

@@ -1,0 +1,296 @@
+"""Program builder with PC placement and loop unrolling.
+
+The builder is the main way attack workloads are written.  Two features
+matter specifically for value-predictor attacks:
+
+* :meth:`ProgramBuilder.pin_pc` places the next instruction at a
+  chosen PC.  This reproduces the "``nop(); // pad to map to sender's
+  index``" trick from Figure 3 of the paper — making a receiver load
+  collide with a sender load in a PC-indexed Value Prediction System —
+  with a PC gap standing in for the nop sled.
+* :meth:`ProgramBuilder.loop` records a true counted loop whose body
+  re-executes the *same PCs* every iteration.  The paper's train loops
+  ("``for (i=0;i<C;i++)``") must be loops, not unrolled copies,
+  because a PC-indexed VPS only accumulates confidence when the same
+  load PC repeats.  :meth:`ProgramBuilder.repeat` is the unrolled
+  variant for code where per-iteration PCs do not matter.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import IsaError
+from repro.isa import instructions as ins
+from repro.isa.instructions import (
+    INSTRUCTION_BYTES,
+    AluOp,
+    Instruction,
+)
+from repro.isa.program import LoopRegion, PlacedInstruction, Program
+
+
+@dataclass
+class _LoopFrame:
+    """Bookkeeping for an open :meth:`ProgramBuilder.loop` block."""
+
+    count: int
+    start_index: int
+
+
+class ProgramBuilder:
+    """Incrementally builds a :class:`~repro.isa.program.Program`.
+
+    Args:
+        name: Program name for traces.
+        pid: Process identifier.
+        base_pc: PC of the first instruction.
+
+    Example::
+
+        b = ProgramBuilder("receiver", pid=1)
+        b.flush(imm=ARR3)
+        b.pin_pc(0x40)                 # collide with the sender's load
+        b.load(dst=3, imm=ARR3, tag="trigger-load")
+        b.halt()
+        program = b.build()
+    """
+
+    def __init__(self, name: str = "program", pid: int = 0, base_pc: int = 0) -> None:
+        if base_pc % INSTRUCTION_BYTES != 0:
+            raise IsaError(f"base_pc {base_pc:#x} must be aligned")
+        if base_pc < 0:
+            raise IsaError("base_pc must be non-negative")
+        self.name = name
+        self.pid = pid
+        self._next_pc = base_pc
+        self._placed: List[PlacedInstruction] = []
+        self._labels: Dict[str, int] = {}
+        self._loop_stack: List[_LoopFrame] = []
+        self._loops: List[LoopRegion] = []
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # PC bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def next_pc(self) -> int:
+        """PC that the next emitted instruction will occupy."""
+        return self._next_pc
+
+    def pin_pc(self, pc: int) -> "ProgramBuilder":
+        """Place the next instruction at ``pc``.
+
+        Semantically equivalent to the nop padding of Figure 3 ("pad
+        to map to sender's index") but represented as a PC gap: the
+        intervening addresses simply hold no instructions, which keeps
+        simulation cost independent of how far apart colliding PCs
+        are.
+
+        Raises:
+            IsaError: If ``pc`` is unaligned or already behind the
+                current position.
+        """
+        if pc % INSTRUCTION_BYTES != 0:
+            raise IsaError(f"pin_pc target {pc:#x} must be aligned")
+        if pc < self.next_pc:
+            raise IsaError(
+                f"pin_pc target {pc:#x} is behind current pc {self.next_pc:#x}"
+            )
+        self._next_pc = pc
+        return self
+
+    def label(self, name: str) -> "ProgramBuilder":
+        """Bind ``name`` to the PC of the next instruction."""
+        if name in self._labels:
+            raise IsaError(f"duplicate label {name!r}")
+        self._labels[name] = self.next_pc
+        return self
+
+    # ------------------------------------------------------------------
+    # Instruction emission
+    # ------------------------------------------------------------------
+    def emit(self, instruction: Instruction) -> "ProgramBuilder":
+        """Append a pre-constructed instruction."""
+        if self._built:
+            raise IsaError("builder already produced a program")
+        self._placed.append(
+            PlacedInstruction(pc=self._next_pc, instruction=instruction)
+        )
+        self._next_pc += INSTRUCTION_BYTES
+        return self
+
+    def nop(self, tag: Optional[str] = None) -> "ProgramBuilder":
+        """Emit a NOP."""
+        return self.emit(ins.nop(tag=tag))
+
+    def li(self, dst: int, imm: int, tag: Optional[str] = None) -> "ProgramBuilder":
+        """Emit a load-immediate."""
+        return self.emit(ins.li(dst, imm, tag=tag))
+
+    def alu(
+        self,
+        alu_op: AluOp,
+        dst: int,
+        src1: int,
+        src2: Optional[int] = None,
+        imm: int = 0,
+        tag: Optional[str] = None,
+    ) -> "ProgramBuilder":
+        """Emit an ALU operation."""
+        return self.emit(ins.alu(alu_op, dst, src1, src2=src2, imm=imm, tag=tag))
+
+    def add(self, dst: int, src1: int, src2: Optional[int] = None, imm: int = 0,
+            tag: Optional[str] = None) -> "ProgramBuilder":
+        """Append one sample (or emit the ALU add helper)."""
+        return self.alu(AluOp.ADD, dst, src1, src2=src2, imm=imm, tag=tag)
+
+    def mul(self, dst: int, src1: int, src2: Optional[int] = None, imm: int = 0,
+            tag: Optional[str] = None) -> "ProgramBuilder":
+        """Emit a multiply (ALU helper)."""
+        return self.alu(AluOp.MUL, dst, src1, src2=src2, imm=imm, tag=tag)
+
+    def xor(self, dst: int, src1: int, src2: Optional[int] = None, imm: int = 0,
+            tag: Optional[str] = None) -> "ProgramBuilder":
+        """Emit an XOR (ALU helper)."""
+        return self.alu(AluOp.XOR, dst, src1, src2=src2, imm=imm, tag=tag)
+
+    def shl(self, dst: int, src1: int, imm: int, tag: Optional[str] = None
+            ) -> "ProgramBuilder":
+        """Emit a left shift (ALU helper)."""
+        return self.alu(AluOp.SHL, dst, src1, imm=imm, tag=tag)
+
+    def load(
+        self,
+        dst: int,
+        base: Optional[int] = None,
+        imm: int = 0,
+        tag: Optional[str] = None,
+    ) -> "ProgramBuilder":
+        """Emit a load."""
+        return self.emit(ins.load(dst, base=base, imm=imm, tag=tag))
+
+    def store(
+        self,
+        data: int,
+        base: Optional[int] = None,
+        imm: int = 0,
+        tag: Optional[str] = None,
+    ) -> "ProgramBuilder":
+        """Emit a store."""
+        return self.emit(ins.store(data, base=base, imm=imm, tag=tag))
+
+    def flush(
+        self,
+        base: Optional[int] = None,
+        imm: int = 0,
+        tag: Optional[str] = None,
+    ) -> "ProgramBuilder":
+        """Emit a cache-line flush."""
+        return self.emit(ins.flush(base=base, imm=imm, tag=tag))
+
+    def fence(self, tag: Optional[str] = None) -> "ProgramBuilder":
+        """Emit a serialising fence."""
+        return self.emit(ins.fence(tag=tag))
+
+    def rdtsc(self, dst: int, tag: Optional[str] = None) -> "ProgramBuilder":
+        """Emit a cycle-counter read."""
+        return self.emit(ins.rdtsc(dst, tag=tag))
+
+    def halt(self) -> "ProgramBuilder":
+        """Emit a HALT."""
+        return self.emit(ins.halt())
+
+    # ------------------------------------------------------------------
+    # Loop unrolling
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def repeat(self, count: int) -> Iterator[None]:
+        """Unroll the enclosed emission block ``count`` times.
+
+        The body is recorded once and replayed ``count - 1`` additional
+        times when the context exits; each copy occupies fresh PCs.
+        Use this for code where per-iteration PCs do not matter (e.g.
+        dependent-operation chains).  For train loops whose load must
+        hit the *same* VPS index every iteration, use :meth:`loop`.
+        """
+        if count < 1:
+            raise IsaError(f"repeat count must be >= 1, got {count}")
+        frame = _LoopFrame(count=count, start_index=len(self._placed))
+        self._loop_stack.append(frame)
+        try:
+            yield
+        finally:
+            self._loop_stack.pop()
+        if any(region.start >= frame.start_index for region in self._loops):
+            raise IsaError("a loop() block may not appear inside repeat()")
+        body = [placed.instruction for placed in self._placed[frame.start_index:]]
+        for _ in range(count - 1):
+            for instruction in body:
+                self.emit(instruction)
+
+    @contextlib.contextmanager
+    def loop(self, count: int) -> Iterator[None]:
+        """Execute the enclosed block ``count`` times as a true loop.
+
+        Unlike :meth:`repeat`, the body occupies its PCs *once* and the
+        pipeline re-executes those same PCs each iteration.  This is
+        how the paper's train loops work: a PC-indexed VPS only
+        accumulates confidence when the same load PC repeats.
+
+        Loops may nest but must be properly nested.
+        """
+        if count < 1:
+            raise IsaError(f"loop count must be >= 1, got {count}")
+        start_index = len(self._placed)
+        frame = _LoopFrame(count=count, start_index=start_index)
+        self._loop_stack.append(frame)
+        try:
+            yield
+        finally:
+            self._loop_stack.pop()
+        stop_index = len(self._placed)
+        if stop_index == start_index:
+            raise IsaError("loop body must contain at least one instruction")
+        self._loops.append(
+            LoopRegion(start=start_index, stop=stop_index, count=count)
+        )
+
+    def dependent_chain(
+        self, length: int, dst: int = 30, src: int = 29, tag: str = "dep-chain"
+    ) -> "ProgramBuilder":
+        """Emit a serial chain of ``length`` dependent ALU adds.
+
+        The first add consumes ``src`` (typically the trigger load's
+        destination) so the chain cannot start before the loaded —
+        or value-predicted — data is available.  This reproduces the
+        ``dependent_alu_mem_ops()`` of Figure 3, which amplifies the
+        timing difference between prediction outcomes.
+        """
+        if length < 1:
+            raise IsaError(f"dependent chain length must be >= 1, got {length}")
+        self.add(dst, src, imm=1, tag=tag)
+        for _ in range(length - 1):
+            self.add(dst, dst, imm=1, tag=tag)
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self) -> Program:
+        """Finalise and return the program (appends HALT if missing)."""
+        if self._loop_stack:
+            raise IsaError("cannot build while a repeat/loop block is open")
+        if (
+            not self._placed
+            or self._placed[-1].instruction.op is not ins.Opcode.HALT
+        ):
+            self.halt()
+        self._built = True
+        return Program(
+            self._placed,
+            name=self.name,
+            pid=self.pid,
+            labels=self._labels,
+            loops=self._loops,
+        )

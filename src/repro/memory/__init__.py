@@ -1,0 +1,47 @@
+"""Memory-system substrate: caches, TLB, DRAM model, address mapping.
+
+The hierarchy of Figure 1's "Memory System" box.  The central entry
+point is :class:`~repro.memory.hierarchy.MemorySystem`.
+"""
+
+from repro.memory.address import (
+    PID_SHIFT,
+    AddressMapper,
+    SharedRegion,
+    line_address,
+    split_address,
+)
+from repro.memory.cache import CacheStats, SetAssociativeCache
+from repro.memory.hierarchy import LoadResult, MemoryConfig, MemorySystem
+from repro.memory.memsys import BackingStore, DramConfig, DramModel
+from repro.memory.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from repro.memory.tlb import Tlb, TlbStats
+
+__all__ = [
+    "PID_SHIFT",
+    "AddressMapper",
+    "BackingStore",
+    "CacheStats",
+    "DramConfig",
+    "DramModel",
+    "FifoPolicy",
+    "LoadResult",
+    "LruPolicy",
+    "MemoryConfig",
+    "MemorySystem",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SetAssociativeCache",
+    "SharedRegion",
+    "Tlb",
+    "TlbStats",
+    "line_address",
+    "make_policy",
+    "split_address",
+]

@@ -1,0 +1,24 @@
+"""Cycle-driven out-of-order pipeline with value prediction.
+
+The processor of the paper's Figure 1.  :class:`~repro.pipeline.core.Core`
+executes :class:`~repro.isa.program.Program` objects against a shared
+:class:`~repro.memory.hierarchy.MemorySystem` and a
+:class:`~repro.vp.base.ValuePredictor`.
+"""
+
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import EA_MASK, Core
+from repro.pipeline.reference import ReferenceExecutor
+from repro.pipeline.trace import LoadEvent, RunResult
+from repro.pipeline.uop import MicroOp, UopState
+
+__all__ = [
+    "Core",
+    "CoreConfig",
+    "EA_MASK",
+    "LoadEvent",
+    "MicroOp",
+    "ReferenceExecutor",
+    "RunResult",
+    "UopState",
+]

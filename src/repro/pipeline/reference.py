@@ -1,0 +1,75 @@
+"""Reference functional executor.
+
+Executes a program's dynamic trace strictly in order with no timing
+model.  The out-of-order core — with value speculation, squashes and
+store-to-load forwarding — must produce exactly the same
+*architectural* results (final registers and memory contents); the
+property-based test suite checks that equivalence on randomly
+generated programs.
+
+RDTSC is the one architecturally timing-dependent instruction; the
+reference executor returns 0 for it, and comparisons simply skip
+registers written by RDTSC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.isa.instructions import NUM_REGISTERS, Opcode
+from repro.isa.program import Program
+from repro.memory.hierarchy import MemorySystem
+from repro.pipeline.core import EA_MASK, _alu_compute
+
+_VALUE_MASK = (1 << 64) - 1
+
+
+class ReferenceExecutor:
+    """In-order, untimed executor sharing a core's memory system."""
+
+    def __init__(self, memory: MemorySystem) -> None:
+        self.memory = memory
+
+    def run(self, program: Program) -> Tuple[Dict[int, int], Set[int]]:
+        """Execute ``program``; returns (final registers, rdtsc regs).
+
+        Registers are reported as a dense dict over all register
+        numbers; the second element lists registers whose final value
+        came from RDTSC (timing-dependent, excluded from comparisons).
+        """
+        regs: List[int] = [0] * NUM_REGISTERS
+        rdtsc_tainted: Set[int] = set()
+
+        for placed in program.dynamic_trace():
+            instr = placed.instruction
+            op = instr.op
+            if op in (Opcode.NOP, Opcode.FENCE, Opcode.HALT):
+                continue
+            if op is Opcode.RDTSC:
+                regs[instr.dst] = 0
+                rdtsc_tainted.add(instr.dst)
+                continue
+            if op is Opcode.LI:
+                regs[instr.dst] = instr.imm & _VALUE_MASK
+                rdtsc_tainted.discard(instr.dst)
+                continue
+            if op is Opcode.ALU:
+                lhs = regs[instr.src1]
+                rhs = regs[instr.src2] if instr.src2 is not None else instr.imm
+                regs[instr.dst] = _alu_compute(instr.alu_op, lhs, rhs)
+                rdtsc_tainted.discard(instr.dst)
+                continue
+            base = regs[instr.src1] if instr.src1 is not None else 0
+            address = (base + instr.imm) & EA_MASK
+            if op is Opcode.LOAD:
+                regs[instr.dst] = self.memory.read_value(program.pid, address)
+                rdtsc_tainted.discard(instr.dst)
+            elif op is Opcode.STORE:
+                self.memory.write_value(
+                    program.pid, address, regs[instr.src2]
+                )
+            elif op is Opcode.FLUSH:
+                pass  # no architectural effect
+            else:  # pragma: no cover - exhaustive
+                raise AssertionError(f"unhandled opcode {op}")
+        return {reg: regs[reg] for reg in range(NUM_REGISTERS)}, rdtsc_tainted

@@ -1,0 +1,96 @@
+"""Run results and per-event records produced by the core."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class LoadEvent:
+    """One dynamic load, as observed by the pipeline.
+
+    Attributes:
+        seq: Dynamic sequence number.
+        pc: Load PC.
+        addr: Effective virtual address.
+        issue_cycle: Cycle the load issued to a memory port.
+        complete_cycle: Cycle the actual data was available/verified.
+        latency: ``complete_cycle - issue_cycle``.
+        l1_hit: The access hit in L1 (VPS not engaged).
+        forwarded: Satisfied by store-to-load forwarding.
+        predicted: A value prediction was issued for this load.
+        prediction_correct: Verification outcome (``None`` when no
+            prediction was made).
+        value: The architectural value loaded.
+        squashed_dependents: Number of younger ops squashed by this
+            load's misprediction (0 otherwise).
+    """
+
+    seq: int
+    pc: int
+    addr: int
+    issue_cycle: int
+    complete_cycle: int
+    latency: int
+    l1_hit: bool
+    forwarded: bool
+    predicted: bool
+    prediction_correct: Optional[bool]
+    value: int
+    squashed_dependents: int = 0
+
+
+@dataclass
+class RunResult:
+    """Outcome of executing one program on the core.
+
+    The receiver's measurements live in :attr:`rdtsc_values`: each
+    entry is ``(pc, cycle)`` for a committed RDTSC instruction, in
+    program order.  Timing windows are differences between consecutive
+    readings (:meth:`rdtsc_delta`).
+    """
+
+    program_name: str
+    pid: int
+    start_cycle: int
+    end_cycle: int
+    retired: int
+    squashes: int
+    rdtsc_values: List[Tuple[int, int]] = field(default_factory=list)
+    registers: Dict[int, int] = field(default_factory=dict)
+    load_events: List[LoadEvent] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> int:
+        """Total cycles the run occupied."""
+        return self.end_cycle - self.start_cycle
+
+    def rdtsc_delta(self, first: int = 0, second: int = 1) -> int:
+        """Difference between the ``second`` and ``first`` RDTSC readings.
+
+        Raises:
+            IndexError: If fewer RDTSC values were recorded.
+        """
+        return self.rdtsc_values[second][1] - self.rdtsc_values[first][1]
+
+    def rdtsc_deltas(self) -> List[int]:
+        """Consecutive differences between all RDTSC readings."""
+        values = [value for _, value in self.rdtsc_values]
+        return [b - a for a, b in zip(values, values[1:])]
+
+    def loads_at_pc(self, pc: int) -> List[LoadEvent]:
+        """All load events whose PC equals ``pc``."""
+        return [event for event in self.load_events if event.pc == pc]
+
+    def loads_tagged(self, program, tag: str) -> List[LoadEvent]:
+        """Load events whose PC carries ``tag`` in ``program``."""
+        pcs = set(program.pcs_tagged(tag))
+        return [event for event in self.load_events if event.pc in pcs]
+
+    @property
+    def ipc(self) -> float:
+        """Retired instructions per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.retired / self.cycles

@@ -1,0 +1,106 @@
+"""Dynamic micro-operation state tracked in the reorder buffer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.isa.instructions import Instruction
+from repro.vp.base import Prediction
+
+
+class UopState(enum.Enum):
+    """Lifecycle of a micro-op inside the window."""
+
+    DISPATCHED = "dispatched"   #: in the ROB, waiting for operands/port
+    ISSUED = "issued"           #: executing on a port
+    COMPLETED = "completed"     #: result final (loads: verified)
+    RETIRED = "retired"         #: committed architecturally
+    SQUASHED = "squashed"       #: killed by a value-misprediction squash
+
+
+@dataclass
+class MicroOp:
+    """One in-flight dynamic instruction.
+
+    Attributes:
+        seq: Global dynamic sequence number (program order).
+        trace_index: Position in the program's dynamic trace, used to
+            restart fetch after a squash.
+        pc: The instruction's program counter.
+        instr: The static instruction.
+        sources: Source register -> producing :class:`MicroOp` (or
+            ``None`` when the value comes from the architectural file).
+        value_ready_cycle: Cycle at which the result value becomes
+            available to consumers.  For a value-predicted load this
+            precedes :attr:`complete_cycle` — that early availability
+            *is* value prediction's performance benefit and the
+            paper's attack surface.
+        complete_cycle: Cycle at which the op is done for retirement
+            purposes (loads: actual data returned and verified).
+        result: Result value (speculative for predicted loads until
+            verification).
+        addr: Effective virtual address (memory ops).
+        l1_hit: Load hit L1 (no VPS involvement).
+        prediction: The VPS prediction issued for this load, if any.
+        verified: Prediction verification outcome (None until known).
+        spec_src: Sequence number of the nearest *unverified* predicted
+            load this op transitively depends on; drives the D-type
+            deferred-fill bookkeeping.
+        pending_fill_paddr: Physical address whose fill was deferred.
+        forwarded: Load was satisfied by store-to-load forwarding.
+    """
+
+    seq: int
+    trace_index: int
+    pc: int
+    instr: Instruction
+    state: UopState = UopState.DISPATCHED
+    sources: Dict[int, Optional["MicroOp"]] = field(default_factory=dict)
+    value_ready_cycle: Optional[int] = None
+    complete_cycle: Optional[int] = None
+    result: Optional[int] = None
+    addr: Optional[int] = None
+    l1_hit: Optional[bool] = None
+    prediction: Optional[Prediction] = None
+    verified: Optional[bool] = None
+    spec_src: Optional[int] = None
+    pending_fill_paddr: Optional[int] = None
+    forwarded: bool = False
+    issue_cycle: Optional[int] = None
+    actual_value: Optional[int] = None
+    vps_key: Optional[object] = None
+
+    @property
+    def is_load(self) -> bool:
+        """True for load operations."""
+        return self.instr.is_load
+
+    @property
+    def is_store(self) -> bool:
+        """True for store operations."""
+        return self.instr.is_store
+
+    def value_available(self, cycle: int) -> bool:
+        """True if the result can feed consumers at ``cycle``."""
+        return self.value_ready_cycle is not None and self.value_ready_cycle <= cycle
+
+    def sources_ready(self, cycle: int) -> bool:
+        """True if every source operand is available at ``cycle``."""
+        for producer in self.sources.values():
+            if producer is None:
+                continue
+            if producer.state is UopState.SQUASHED:
+                return False
+            if not producer.value_available(cycle):
+                return False
+        return True
+
+    def source_value(self, reg: int, arch_read) -> int:
+        """Value of source register ``reg`` (producer result or file)."""
+        producer = self.sources.get(reg)
+        if producer is None:
+            return arch_read(reg)
+        assert producer.result is not None, "consumer issued before producer"
+        return producer.result

@@ -1,0 +1,33 @@
+"""Statistics used by the paper's evaluation methodology."""
+
+from repro.stats.bandwidth import (
+    cycles_to_seconds,
+    success_rate,
+    transmission_rate_bps,
+    transmission_rate_kbps,
+)
+from repro.stats.ci import ConfidenceInterval, mean_confidence_interval
+from repro.stats.distributions import (
+    TimingDistribution,
+    frequency_histogram,
+    histogram,
+)
+from repro.stats.summary import DistributionComparison
+from repro.stats.ttest import ALPHA, TTestResult, student_t_test, welch_t_test
+
+__all__ = [
+    "ALPHA",
+    "ConfidenceInterval",
+    "DistributionComparison",
+    "TTestResult",
+    "TimingDistribution",
+    "cycles_to_seconds",
+    "frequency_histogram",
+    "histogram",
+    "mean_confidence_interval",
+    "student_t_test",
+    "success_rate",
+    "transmission_rate_bps",
+    "transmission_rate_kbps",
+    "welch_t_test",
+]

@@ -1,0 +1,58 @@
+"""Transmission-rate and success-rate metrics.
+
+Table III reports each attack's transmission rate ("Tran. Rate ...,
+or bandwidth") in Kbps, and the RSA case study reports a bit success
+rate (95.7 % over 60 runs) and 9.65 Kbps.  Cycles convert to seconds
+through the core's nominal clock.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import StatsError
+
+
+def cycles_to_seconds(cycles: float, clock_ghz: float) -> float:
+    """Wall-clock seconds spent in ``cycles`` at ``clock_ghz``."""
+    if clock_ghz <= 0:
+        raise StatsError(f"clock must be positive, got {clock_ghz}")
+    if cycles < 0:
+        raise StatsError(f"cycles must be non-negative, got {cycles}")
+    return cycles / (clock_ghz * 1e9)
+
+
+def transmission_rate_bps(
+    bits: float, cycles: float, clock_ghz: float
+) -> float:
+    """Bits per second for ``bits`` leaked over ``cycles`` of activity."""
+    if bits < 0:
+        raise StatsError(f"bits must be non-negative, got {bits}")
+    seconds = cycles_to_seconds(cycles, clock_ghz)
+    if seconds == 0:
+        raise StatsError("cannot compute a rate over zero cycles")
+    return bits / seconds
+
+
+def transmission_rate_kbps(
+    bits: float, cycles: float, clock_ghz: float
+) -> float:
+    """Transmission rate in Kbps (as reported in Table III)."""
+    return transmission_rate_bps(bits, cycles, clock_ghz) / 1000.0
+
+
+def success_rate(observed: Sequence[int], expected: Sequence[int]) -> float:
+    """Fraction of positions where ``observed`` matches ``expected``.
+
+    Raises:
+        StatsError: On length mismatch or empty sequences.
+    """
+    if len(observed) != len(expected):
+        raise StatsError(
+            f"length mismatch: {len(observed)} observed vs "
+            f"{len(expected)} expected"
+        )
+    if not observed:
+        raise StatsError("cannot compute a success rate over zero bits")
+    matches = sum(1 for o, e in zip(observed, expected) if o == e)
+    return matches / len(observed)

@@ -1,0 +1,120 @@
+"""Timing-distribution containers and histogramming.
+
+Figures 5 and 8 of the paper plot frequency histograms (percent of
+runs per cycle bin) of the receiver's measured timings for the
+"mapped" and "unmapped" hypotheses.  :class:`TimingDistribution` holds
+one such sample set; :func:`histogram` produces the binned view the
+figure renderers consume.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.errors import StatsError
+
+
+@dataclass
+class TimingDistribution:
+    """A labelled set of timing samples (cycles)."""
+
+    label: str
+    samples: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        """Append one sample (or emit the ALU add helper)."""
+        self.samples.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples."""
+        if not self.samples:
+            raise StatsError(f"distribution {self.label!r} is empty")
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (n-1 denominator)."""
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(sum((x - mean) ** 2 for x in self.samples) / (n - 1))
+
+    @property
+    def minimum(self) -> float:
+        """Smallest sample."""
+        if not self.samples:
+            raise StatsError(f"distribution {self.label!r} is empty")
+        return min(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        """Largest sample."""
+        if not self.samples:
+            raise StatsError(f"distribution {self.label!r} is empty")
+        return max(self.samples)
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile, ``q`` in [0, 100]."""
+        if not self.samples:
+            raise StatsError(f"distribution {self.label!r} is empty")
+        if not 0.0 <= q <= 100.0:
+            raise StatsError(f"percentile must be in [0, 100], got {q}")
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = (len(ordered) - 1) * q / 100.0
+        low = int(math.floor(position))
+        high = int(math.ceil(position))
+        if low == high:
+            return ordered[low]
+        fraction = position - low
+        return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def histogram(
+    samples: Sequence[float],
+    bin_width: float = 20.0,
+    low: float = 0.0,
+    high: float = 600.0,
+) -> List[Tuple[float, int]]:
+    """Bin ``samples`` into ``[low, high)`` with ``bin_width`` bins.
+
+    Returns ``(bin_start, count)`` pairs covering the whole range;
+    samples outside the range land in the first/last bin (so figure
+    axes match the paper's 0–600 cycle window without losing tails).
+
+    Raises:
+        StatsError: On a non-positive bin width or an empty range.
+    """
+    if bin_width <= 0:
+        raise StatsError(f"bin width must be positive, got {bin_width}")
+    if high <= low:
+        raise StatsError(f"empty histogram range [{low}, {high})")
+    count = int(math.ceil((high - low) / bin_width))
+    bins = [0] * count
+    for sample in samples:
+        index = int((sample - low) // bin_width)
+        index = max(0, min(count - 1, index))
+        bins[index] += 1
+    return [(low + i * bin_width, bins[i]) for i in range(count)]
+
+
+def frequency_histogram(
+    samples: Sequence[float],
+    bin_width: float = 20.0,
+    low: float = 0.0,
+    high: float = 600.0,
+) -> List[Tuple[float, float]]:
+    """Like :func:`histogram` but in percent of samples, as in Figures 5/8."""
+    total = len(samples)
+    binned = histogram(samples, bin_width=bin_width, low=low, high=high)
+    if total == 0:
+        return [(start, 0.0) for start, _ in binned]
+    return [(start, 100.0 * count / total) for start, count in binned]

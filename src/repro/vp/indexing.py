@@ -1,0 +1,92 @@
+"""VPS index functions.
+
+Per the paper's threat model (Section II), predictors are broadly
+**PC-based** (index = program counter of the load) or
+**data-address-based** (index = virtual address of the accessed data).
+The index "can also incorporate other information, such as a process
+identifier, pid, if the value predictor uses that for indexing" —
+using the pid makes cross-process collisions impossible without a
+shared library, which "only increases difficulties for attacks but
+does not eliminate it" (footnote 5).
+
+Using only a subset of the address bits is possible but "will
+introduce conflicts between different addresses"; :class:`IndexFunction`
+supports both the full-address form used by recent predictors and a
+masked form so the conflict behaviour can be studied.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import PredictorError
+from repro.vp.base import AccessKey
+
+
+class IndexSource(enum.Enum):
+    """What part of the access identifies the predictor entry."""
+
+    PC = "pc"
+    DATA_ADDRESS = "data-address"
+
+
+@dataclass(frozen=True)
+class IndexFunction:
+    """Maps an :class:`~repro.vp.base.AccessKey` to a table index.
+
+    Attributes:
+        source: PC-based or data-address-based indexing.
+        include_pid: Mix the pid into the index.  When False (the
+            default, matching "many known value predictors"), loads
+            from different processes at the same virtual PC or address
+            collide — the property the cross-process attacks rely on.
+        bits: If set, keep only the low ``bits`` bits of the source
+            address, introducing aliasing between distant addresses.
+    """
+
+    source: IndexSource = IndexSource.PC
+    include_pid: bool = False
+    bits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.bits is not None and self.bits < 1:
+            raise PredictorError(f"index bits must be >= 1, got {self.bits}")
+
+    def index_of(self, key: AccessKey) -> int:
+        """The table index for ``key``."""
+        if self.source is IndexSource.PC:
+            base = key.pc
+        else:
+            base = key.addr
+        if self.bits is not None:
+            base &= (1 << self.bits) - 1
+        if self.include_pid:
+            # Keep pid bits disjoint from (possibly masked) address bits.
+            shift = self.bits if self.bits is not None else 56
+            base |= (key.pid + 1) << shift
+        return base
+
+    def collides(self, first: AccessKey, second: AccessKey) -> bool:
+        """True if the two accesses map to the same predictor entry."""
+        return self.index_of(first) == self.index_of(second)
+
+    def describe(self) -> str:
+        """Short human-readable description for reports."""
+        parts = [self.source.value]
+        if self.bits is not None:
+            parts.append(f"{self.bits}b")
+        if self.include_pid:
+            parts.append("pid")
+        return "+".join(parts)
+
+
+#: The default indexing used throughout the paper's PoCs: full PC, no pid.
+PC_INDEX = IndexFunction(source=IndexSource.PC, include_pid=False)
+
+#: Data-address-based indexing, no pid.
+DATA_ADDRESS_INDEX = IndexFunction(source=IndexSource.DATA_ADDRESS, include_pid=False)
+
+#: PC-based indexing that also mixes in the pid (hardened variant).
+PC_PID_INDEX = IndexFunction(source=IndexSource.PC, include_pid=True)

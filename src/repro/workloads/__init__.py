@@ -1,0 +1,5 @@
+"""Attack and performance workload generators."""
+
+from repro.workloads.gadgets import Layout
+
+__all__ = ["Layout"]

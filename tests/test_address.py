@@ -1,0 +1,92 @@
+"""Unit tests for address mapping."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory.address import (
+    AddressMapper,
+    line_address,
+    split_address,
+)
+
+
+class TestPrivateTranslation:
+    def test_different_pids_never_alias(self):
+        mapper = AddressMapper()
+        assert mapper.translate(1, 0x1000) != mapper.translate(2, 0x1000)
+
+    def test_same_pid_same_vaddr_is_stable(self):
+        mapper = AddressMapper()
+        assert mapper.translate(1, 0x1000) == mapper.translate(1, 0x1000)
+
+    def test_negative_vaddr_rejected(self):
+        with pytest.raises(MemoryError_):
+            AddressMapper().translate(1, -4)
+
+    def test_negative_pid_rejected(self):
+        with pytest.raises(MemoryError_):
+            AddressMapper().translate(-1, 4)
+
+    def test_huge_vaddr_rejected(self):
+        with pytest.raises(MemoryError_):
+            AddressMapper().translate(0, 1 << 50)
+
+
+class TestSharedRegions:
+    def test_shared_region_aliases_across_pids(self):
+        mapper = AddressMapper()
+        mapper.add_shared_region(0x100000, 0x1000)
+        assert mapper.translate(1, 0x100010) == mapper.translate(2, 0x100010)
+
+    def test_shared_region_offsets_preserved(self):
+        mapper = AddressMapper()
+        region = mapper.add_shared_region(0x100000, 0x1000)
+        assert (
+            mapper.translate(1, 0x100040) - mapper.translate(1, 0x100000)
+            == 0x40
+        )
+        assert region.contains(0x100000)
+        assert not region.contains(0x101000)
+
+    def test_outside_shared_region_stays_private(self):
+        mapper = AddressMapper()
+        mapper.add_shared_region(0x100000, 0x1000)
+        assert mapper.translate(1, 0x99000) != mapper.translate(2, 0x99000)
+
+    def test_overlapping_regions_rejected(self):
+        mapper = AddressMapper()
+        mapper.add_shared_region(0x1000, 0x1000)
+        with pytest.raises(MemoryError_):
+            mapper.add_shared_region(0x1800, 0x1000)
+
+    def test_two_disjoint_regions_get_distinct_backing(self):
+        mapper = AddressMapper()
+        first = mapper.add_shared_region(0x1000, 0x1000)
+        second = mapper.add_shared_region(0x10000, 0x1000)
+        assert first.phys_base != second.phys_base
+
+    def test_is_shared(self):
+        mapper = AddressMapper()
+        mapper.add_shared_region(0x1000, 0x100)
+        assert mapper.is_shared(0x1040)
+        assert not mapper.is_shared(0x2000)
+
+    def test_zero_size_region_rejected(self):
+        with pytest.raises(MemoryError_):
+            AddressMapper().add_shared_region(0x1000, 0)
+
+
+class TestHelpers:
+    def test_line_address_masks_offset(self):
+        assert line_address(0x1234, 64) == 0x1200
+        assert line_address(0x1200, 64) == 0x1200
+
+    def test_split_address_roundtrip(self):
+        set_index, tag = split_address(0x12340, 64, 64)
+        line = (tag * 64 + set_index) * 64
+        assert line == line_address(0x12340, 64)
+
+    def test_consecutive_lines_hit_consecutive_sets(self):
+        first, _ = split_address(0x0, 64, 64)
+        second, _ = split_address(0x40, 64, 64)
+        assert second == (first + 1) % 64

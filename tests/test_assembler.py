@@ -1,0 +1,130 @@
+"""Unit tests for the text assembler."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import assemble
+from repro.isa.instructions import AluOp, Opcode
+
+
+class TestBasicParsing:
+    def test_full_program(self):
+        program = assemble(
+            """
+            ; attack-style snippet
+            li    r1, 0x100
+            load  r3, [r1+0x40]
+            add   r4, r3, 5
+            store [r1+8], r4
+            flush [0x200]
+            fence
+            rdtsc r9
+            halt
+            """
+        )
+        ops = [p.instruction.op for p in program.instructions]
+        assert ops == [
+            Opcode.LI, Opcode.LOAD, Opcode.ALU, Opcode.STORE,
+            Opcode.FLUSH, Opcode.FENCE, Opcode.RDTSC, Opcode.HALT,
+        ]
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = assemble("nop\n\n# comment\n; another\nnop\n")
+        assert program.count_opcode(Opcode.NOP) == 2
+
+    def test_register_alu_form(self):
+        program = assemble("li r1, 1\nli r2, 2\nadd r3, r1, r2\n")
+        alu = program.instructions[2].instruction
+        assert alu.alu_op is AluOp.ADD
+        assert alu.src2 == 2
+
+    def test_immediate_alu_form(self):
+        program = assemble("li r1, 1\nmul r3, r1, 12\n")
+        alu = program.instructions[1].instruction
+        assert alu.alu_op is AluOp.MUL
+        assert alu.src2 is None
+        assert alu.imm == 12
+
+    def test_absolute_load(self):
+        program = assemble("load r3, [0x200]\n")
+        load = program.instructions[0].instruction
+        assert load.src1 is None
+        assert load.imm == 0x200
+
+    def test_hex_and_binary_literals(self):
+        program = assemble("li r1, 0x10\nli r2, 0b101\nli r3, 7\n")
+        imms = [p.instruction.imm for p in program.instructions[:3]]
+        assert imms == [16, 5, 7]
+
+    def test_labels(self):
+        program = assemble("start:\nnop\nloop_top:\nnop\n")
+        assert program.pc_of_label("start") == 0
+        assert program.pc_of_label("loop_top") == 4
+
+
+class TestDirectives:
+    def test_pin_directive(self):
+        program = assemble(".pin 0x1000\nload r1, [0x40]\n")
+        assert program.instructions[0].pc == 0x1000
+
+    def test_loop_directive(self):
+        program = assemble(
+            """
+            .loop 3
+            load r1, [0x40]
+            .endloop
+            """
+        )
+        trace = program.dynamic_trace()
+        loads = [p for p in trace if p.instruction.op is Opcode.LOAD]
+        assert len(loads) == 3
+        assert len({p.pc for p in loads}) == 1
+
+    def test_endloop_without_loop(self):
+        with pytest.raises(AssemblyError):
+            assemble(".endloop\n")
+
+    def test_unterminated_loop(self):
+        with pytest.raises(AssemblyError):
+            assemble(".loop 2\nnop\n")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError) as excinfo:
+            assemble("nop\nbogus r1\n")
+        assert "line 2" in str(excinfo.value)
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("li rx, 5\n")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblyError):
+            assemble("load r1, 0x40\n")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            assemble("li r1\n")
+
+    def test_bad_integer(self):
+        with pytest.raises(AssemblyError):
+            assemble("li r1, zzz\n")
+
+
+class TestRoundTrip:
+    def test_assembled_program_runs(self, det_core):
+        program = assemble(
+            """
+            li    r1, 0x1000
+            li    r2, 123
+            store [r1+0], r2
+            load  r3, [r1+0]
+            add   r4, r3, 1
+            halt
+            """,
+            pid=1,
+        )
+        result = det_core.run(program)
+        assert result.registers[3] == 123
+        assert result.registers[4] == 124

@@ -1,0 +1,119 @@
+"""Tests for the BeBoP-style block-based predictor."""
+
+import pytest
+
+from repro.errors import PredictorError
+from repro.vp.base import AccessKey
+from repro.vp.bebop import BebopPredictor
+
+
+def key(pc, addr=0x100):
+    return AccessKey(pc=pc, addr=addr, pid=0)
+
+
+def train(predictor, pc, value, times):
+    for _ in range(times):
+        predictor.train(key(pc), value)
+
+
+class TestBasics:
+    def test_trains_and_predicts(self):
+        predictor = BebopPredictor(confidence_threshold=3)
+        train(predictor, 0x1000, 42, 3)
+        prediction = predictor.predict(key(0x1000))
+        assert prediction is not None
+        assert prediction.value == 42
+
+    def test_below_threshold_silent(self):
+        predictor = BebopPredictor(confidence_threshold=4)
+        train(predictor, 0x1000, 42, 2)
+        assert predictor.predict(key(0x1000)) is None
+
+    def test_conflicting_value_resets(self):
+        predictor = BebopPredictor(confidence_threshold=3)
+        train(predictor, 0x1000, 42, 4)
+        predictor.train(key(0x1000), 99)
+        assert predictor.predict(key(0x1000)) is None
+        assert predictor.confidence_of(key(0x1000)) == 0
+
+    def test_reset(self):
+        predictor = BebopPredictor(confidence_threshold=1)
+        train(predictor, 0x1000, 1, 2)
+        predictor.reset()
+        assert predictor.predict(key(0x1000)) is None
+
+
+class TestBlockStructure:
+    def test_same_block_loads_are_independent(self):
+        # Two loads in one 64-byte fetch block: separate sub-entries.
+        predictor = BebopPredictor(confidence_threshold=2)
+        train(predictor, 0x1000, 11, 3)
+        train(predictor, 0x1008, 22, 3)
+        assert predictor.predict(key(0x1000)).value == 11
+        assert predictor.predict(key(0x1008)).value == 22
+
+    def test_offset_capacity_evicts_least_useful(self):
+        predictor = BebopPredictor(
+            confidence_threshold=1, offsets_per_block=2
+        )
+        train(predictor, 0x1000, 1, 5)   # useful
+        train(predictor, 0x1004, 2, 1)   # weak
+        train(predictor, 0x1008, 3, 1)   # evicts offset 0x1004
+        assert predictor.confidence_of(key(0x1000)) > 0
+        assert predictor.confidence_of(key(0x1004)) == 0
+
+    def test_block_eviction_when_set_full(self):
+        predictor = BebopPredictor(
+            confidence_threshold=1, sets=1, ways=2
+        )
+        train(predictor, 0x0000, 1, 3)
+        train(predictor, 0x1000, 2, 1)
+        train(predictor, 0x2000, 3, 1)  # third block: evicts weakest
+        assert predictor.stats.evictions >= 1
+        assert predictor.confidence_of(key(0x0000)) > 0
+
+
+class TestAliasing:
+    def test_partial_tags_alias_distant_blocks(self):
+        # With a tiny tag, two different blocks in the same set can
+        # share an entry — the attack-surface property the paper's
+        # partial-index discussion predicts.
+        predictor = BebopPredictor(
+            confidence_threshold=2, sets=2, tag_bits=1
+        )
+        base_pc = 0x1000
+        train(predictor, base_pc, 42, 3)
+        alias = None
+        for candidate in range(64):
+            pc = base_pc + candidate * 2 * 64  # same set (sets=2)
+            if pc == base_pc:
+                continue
+            if predictor._locate(key(pc))[:2] == \
+                    predictor._locate(key(base_pc))[:2]:
+                alias = pc
+                break
+        assert alias is not None, "1-bit tags must alias within 64 blocks"
+        prediction = predictor.predict(key(alias))
+        assert prediction is not None
+        assert prediction.value == 42
+
+    def test_full_pc_attack_surface(self):
+        # The standard cross-process collision (same PC) still works.
+        predictor = BebopPredictor(confidence_threshold=2)
+        train(predictor, 0x1000, 7, 3)
+        other_process = AccessKey(pc=0x1000, addr=0x9999, pid=5)
+        assert predictor.predict(other_process).value == 7
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"confidence_threshold": 0},
+        {"sets": 0},
+        {"ways": 0},
+        {"tag_bits": 0},
+        {"tag_bits": 40},
+        {"offsets_per_block": 0},
+    ])
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(PredictorError):
+            BebopPredictor(**kwargs)

@@ -1,0 +1,196 @@
+"""Unit tests for the ProgramBuilder."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import AluOp, Opcode
+
+
+class TestEmission:
+    def test_sequential_pcs(self):
+        builder = ProgramBuilder(base_pc=0x100)
+        builder.nop().nop()
+        program = builder.build()
+        assert [p.pc for p in program.instructions] == [0x100, 0x104, 0x108]
+
+    def test_build_appends_halt(self):
+        program = ProgramBuilder().nop().build()
+        assert program.instructions[-1].instruction.op is Opcode.HALT
+
+    def test_build_does_not_duplicate_halt(self):
+        builder = ProgramBuilder()
+        builder.nop().halt()
+        program = builder.build()
+        assert program.count_opcode(Opcode.HALT) == 1
+
+    def test_builder_single_use(self):
+        builder = ProgramBuilder()
+        builder.nop()
+        builder.build()
+        with pytest.raises(IsaError):
+            builder.nop()
+
+    def test_convenience_alu_helpers(self):
+        builder = ProgramBuilder()
+        builder.li(1, 5).add(2, 1, imm=3).mul(3, 2, src2=1).xor(4, 3, imm=1)
+        builder.shl(5, 4, imm=2)
+        program = builder.build()
+        ops = [p.instruction.alu_op for p in program.instructions
+               if p.instruction.op is Opcode.ALU]
+        assert ops == [AluOp.ADD, AluOp.MUL, AluOp.XOR, AluOp.SHL]
+
+    def test_unaligned_base_pc_rejected(self):
+        with pytest.raises(IsaError):
+            ProgramBuilder(base_pc=2)
+
+    def test_negative_base_pc_rejected(self):
+        with pytest.raises(IsaError):
+            ProgramBuilder(base_pc=-4)
+
+
+class TestPinPc:
+    def test_pin_creates_gap(self):
+        builder = ProgramBuilder()
+        builder.nop()
+        builder.pin_pc(0x1000)
+        builder.load(1, imm=0, tag="pinned")
+        program = builder.build()
+        assert program.pcs_tagged("pinned") == [0x1000]
+        # Only 3 instructions despite the large gap.
+        assert len(program) == 3
+
+    def test_pin_backwards_rejected(self):
+        builder = ProgramBuilder(base_pc=0x2000)
+        with pytest.raises(IsaError):
+            builder.pin_pc(0x1000)
+
+    def test_pin_unaligned_rejected(self):
+        with pytest.raises(IsaError):
+            ProgramBuilder().pin_pc(0x1002)
+
+    def test_pin_to_current_position_is_noop(self):
+        builder = ProgramBuilder(base_pc=0x40)
+        builder.pin_pc(0x40)
+        builder.nop()
+        assert builder.build().start_pc == 0x40
+
+
+class TestLabels:
+    def test_label_binds_next_pc(self):
+        builder = ProgramBuilder()
+        builder.nop()
+        builder.label("target")
+        builder.nop()
+        program = builder.build()
+        assert program.pc_of_label("target") == 4
+
+    def test_duplicate_label_rejected(self):
+        builder = ProgramBuilder()
+        builder.label("x")
+        with pytest.raises(IsaError):
+            builder.label("x")
+
+
+class TestLoops:
+    def test_loop_repeats_same_pcs(self):
+        builder = ProgramBuilder()
+        with builder.loop(3):
+            builder.load(1, imm=0x40, tag="body")
+        program = builder.build()
+        assert len(program) == 2  # load + halt statically
+        trace = program.dynamic_trace()
+        body_pcs = [p.pc for p in trace if p.instruction.tag == "body"]
+        assert body_pcs == [0, 0, 0]
+
+    def test_repeat_unrolls_with_distinct_pcs(self):
+        builder = ProgramBuilder()
+        with builder.repeat(3):
+            builder.load(1, imm=0x40, tag="body")
+        program = builder.build()
+        body_pcs = [
+            p.pc for p in program.instructions if p.instruction.tag == "body"
+        ]
+        assert body_pcs == [0, 4, 8]
+
+    def test_empty_loop_rejected(self):
+        builder = ProgramBuilder()
+        with pytest.raises(IsaError):
+            with builder.loop(2):
+                pass
+
+    def test_zero_count_rejected(self):
+        builder = ProgramBuilder()
+        with pytest.raises(IsaError):
+            with builder.loop(0):
+                builder.nop()
+
+    def test_build_inside_loop_rejected(self):
+        builder = ProgramBuilder()
+        with pytest.raises(IsaError):
+            with builder.loop(2):
+                builder.nop()
+                builder.build()
+
+    def test_nested_loops(self):
+        builder = ProgramBuilder()
+        with builder.loop(2):
+            builder.nop(tag="outer")
+            with builder.loop(3):
+                builder.nop(tag="inner")
+        program = builder.build()
+        trace = program.dynamic_trace()
+        inner = sum(1 for p in trace if p.instruction.tag == "inner")
+        outer = sum(1 for p in trace if p.instruction.tag == "outer")
+        assert outer == 2
+        assert inner == 6
+
+    def test_loop_inside_repeat_rejected(self):
+        builder = ProgramBuilder()
+        with pytest.raises(IsaError):
+            with builder.repeat(2):
+                with builder.loop(2):
+                    builder.nop()
+
+    def test_repeat_inside_loop_allowed(self):
+        builder = ProgramBuilder()
+        with builder.loop(2):
+            with builder.repeat(2):
+                builder.nop(tag="x")
+        program = builder.build()
+        count = sum(
+            1 for p in program.dynamic_trace() if p.instruction.tag == "x"
+        )
+        assert count == 4
+
+
+class TestDependentChain:
+    def test_chain_length(self):
+        builder = ProgramBuilder()
+        builder.load(3, imm=0)
+        builder.dependent_chain(5, dst=30, src=3)
+        program = builder.build()
+        chain_ops = [
+            p for p in program.instructions if p.instruction.tag == "dep-chain"
+        ]
+        assert len(chain_ops) == 5
+
+    def test_chain_first_op_consumes_source(self):
+        builder = ProgramBuilder()
+        builder.load(3, imm=0)
+        builder.dependent_chain(2, dst=30, src=3)
+        program = builder.build()
+        first = program.instructions[1].instruction
+        assert 3 in first.source_registers()
+
+    def test_chain_is_serially_dependent(self):
+        builder = ProgramBuilder()
+        builder.load(3, imm=0)
+        builder.dependent_chain(4, dst=30, src=3)
+        program = builder.build()
+        for placed in program.instructions[2:-1]:
+            assert 30 in placed.instruction.source_registers()
+
+    def test_chain_requires_positive_length(self):
+        with pytest.raises(IsaError):
+            ProgramBuilder().dependent_chain(0)

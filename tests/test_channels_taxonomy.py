@@ -1,0 +1,109 @@
+"""Unit tests for channels and the Figure 2 taxonomy."""
+
+import pytest
+
+from repro.core.channels import (
+    ChannelType,
+    ThresholdDecoder,
+    cached_lines,
+    probe_latencies_from_rdtsc,
+)
+from repro.core.model import AttackCategory, TriggerOutcome
+from repro.core.taxonomy import (
+    FIGURE_2,
+    TimingWindowClass,
+    classes_of_category,
+    classify_pair,
+    novel_classes,
+    render_figure2,
+)
+from repro.errors import AttackError, ModelError
+
+
+class TestThresholdDecoder:
+    def test_decode_slow_means_one(self):
+        decoder = ThresholdDecoder(threshold=100.0, slow_means_one=True)
+        assert decoder.decode(150.0) == 1
+        assert decoder.decode(50.0) == 0
+
+    def test_decode_fast_means_one(self):
+        decoder = ThresholdDecoder(threshold=100.0, slow_means_one=False)
+        assert decoder.decode(150.0) == 0
+        assert decoder.decode(50.0) == 1
+
+    def test_calibration_midpoint(self):
+        decoder = ThresholdDecoder.calibrate([100.0, 110.0], [200.0, 210.0])
+        assert decoder.threshold == pytest.approx(155.0)
+
+    def test_calibration_requires_samples(self):
+        with pytest.raises(AttackError):
+            ThresholdDecoder.calibrate([], [1.0])
+
+
+class TestProbeHelpers:
+    def test_cached_lines(self):
+        assert cached_lines([5.0, 250.0, 3.0], hit_threshold=50.0) == [0, 2]
+
+    def test_probe_latency_extraction(self):
+        rdtsc_values = [(0, 100), (4, 103), (8, 200), (12, 420)]
+        latencies = probe_latencies_from_rdtsc(rdtsc_values, 2)
+        assert latencies == [3, 220]
+
+    def test_probe_count_mismatch(self):
+        with pytest.raises(AttackError):
+            probe_latencies_from_rdtsc([(0, 1)], 1)
+
+
+class TestTaxonomy:
+    def test_classify_mispredict_vs_correct(self):
+        assert classify_pair(
+            TriggerOutcome.MISPREDICT, TriggerOutcome.CORRECT
+        ) is TimingWindowClass.MISPREDICT_VS_CORRECT
+
+    def test_classify_nopred_vs_correct(self):
+        assert classify_pair(
+            TriggerOutcome.NO_PREDICTION, TriggerOutcome.CORRECT
+        ) is TimingWindowClass.NOPRED_VS_CORRECT
+
+    def test_classify_nopred_vs_mispredict(self):
+        assert classify_pair(
+            TriggerOutcome.NO_PREDICTION, TriggerOutcome.MISPREDICT
+        ) is TimingWindowClass.NOPRED_VS_MISPREDICT
+
+    def test_equal_outcomes_rejected(self):
+        with pytest.raises(ModelError):
+            classify_pair(TriggerOutcome.CORRECT, TriggerOutcome.CORRECT)
+
+    def test_novel_class_is_nopred_vs_correct(self):
+        assert novel_classes() == [TimingWindowClass.NOPRED_VS_CORRECT]
+
+    def test_nopred_vs_mispredict_has_no_examples(self):
+        entry = next(
+            e for e in FIGURE_2
+            if e.signal_class is TimingWindowClass.NOPRED_VS_MISPREDICT
+        )
+        assert not entry.has_known_examples
+
+    def test_spill_over_realises_novel_class(self):
+        # The canonical Spill Over counts (confidence-1 train, single
+        # modify access) give correct-vs-no-prediction — the class the
+        # paper introduces.
+        classes = classes_of_category(AttackCategory.SPILL_OVER)
+        assert TimingWindowClass.NOPRED_VS_CORRECT in classes
+
+    def test_train_test_realises_both_known_classes(self):
+        classes = classes_of_category(AttackCategory.TRAIN_TEST)
+        assert TimingWindowClass.MISPREDICT_VS_CORRECT in classes
+        assert TimingWindowClass.NOPRED_VS_CORRECT in classes
+
+    def test_render_mentions_branchscope(self):
+        text = render_figure2()
+        assert "BranchScope" in text
+        assert "No known examples" in text
+
+
+class TestChannelTypes:
+    def test_three_families(self):
+        assert {c.value for c in ChannelType} == {
+            "timing-window", "persistent", "volatile"
+        }

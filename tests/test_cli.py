@@ -1,0 +1,135 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, parse_defense
+from repro.defenses import (
+    AlwaysPredictDefense,
+    DefenseStack,
+    DelaySideEffectsDefense,
+    InvisiSpecDefense,
+    RandomWindowDefense,
+)
+from repro.errors import ReproError
+
+
+class TestDefenseParsing:
+    def test_none(self):
+        assert parse_defense(None) is None
+        assert parse_defense("") is None
+
+    def test_single_components(self):
+        stack = parse_defense("R[5]")
+        assert isinstance(stack, DefenseStack)
+        assert isinstance(stack.defenses[0], RandomWindowDefense)
+        assert stack.defenses[0].window_size == 5
+
+    def test_full_stack(self):
+        stack = parse_defense("R[3]+A[history]+D")
+        kinds = [type(defense) for defense in stack]
+        assert kinds == [
+            RandomWindowDefense, AlwaysPredictDefense,
+            DelaySideEffectsDefense,
+        ]
+
+    def test_invisispec(self):
+        stack = parse_defense("invisispec")
+        assert isinstance(stack.defenses[0], InvisiSpecDefense)
+
+    def test_a_mode_parsed(self):
+        stack = parse_defense("A[fixed]")
+        assert stack.defenses[0].mode == "fixed"
+
+    def test_unknown_component(self):
+        with pytest.raises(ReproError):
+            parse_defense("X[1]")
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "576" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Train + Test") == 4
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        assert "BranchScope" in capsys.readouterr().out
+
+    def test_attack_command(self, capsys):
+        code = main([
+            "attack", "--variant", "Fill Up", "--runs", "6", "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fill Up" in out
+        assert "mapped" in out
+
+    def test_attack_with_defense(self, capsys):
+        code = main([
+            "attack", "--variant", "Spill Over", "--runs", "6",
+            "--defense", "A[fixed]",
+        ])
+        assert code == 0
+        assert "A[fixed]" in capsys.readouterr().out
+
+    def test_attack_unknown_variant_fails_cleanly(self, capsys):
+        assert main(["attack", "--variant", "Bogus", "--runs", "6"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_sweep_command(self, capsys):
+        code = main([
+            "sweep", "--variant", "Train + Test", "--windows", "1,6",
+            "--runs", "20",
+        ])
+        assert code == 0
+        assert "window" in capsys.readouterr().out
+
+    def test_speedup_command(self, capsys):
+        assert main(["speedup"]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestHeavierCommands:
+    def test_fig5_command_small(self, capsys):
+        assert main(["fig5", "--runs", "4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("pvalue=") == 4
+
+    def test_fig8_command_small(self, capsys):
+        assert main(["fig8", "--runs", "4", "--seed", "1"]) == 0
+        assert "Test + Hit" in capsys.readouterr().out
+
+    def test_table3_command_small(self, capsys):
+        assert main(["table3", "--runs", "3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Train + Hit" in out
+        assert "—" in out  # channel-free cells
+
+    def test_fig7_command(self, capsys):
+        assert main(["fig7", "--seed", "7"]) == 0
+        assert "bit success rate" in capsys.readouterr().out
+
+    def test_attack_oracle_invalidate_flags(self, capsys):
+        code = main([
+            "attack", "--variant", "Train + Test", "--runs", "6",
+            "--oracle", "--modify-mode", "invalidate",
+        ])
+        assert code == 0
+
+    def test_all_command(self, tmp_path, capsys):
+        code = main([
+            "all", "--out", str(tmp_path), "--runs", "3",
+            "--artifacts", "table1,fig5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert (tmp_path / "fig5.json").exists()

@@ -1,0 +1,105 @@
+"""Tests for the covert-channel transport."""
+
+import pytest
+
+from repro.core.covert import (
+    CovertChannel,
+    CovertChannelConfig,
+    TransmissionReport,
+)
+from repro.errors import AttackError
+from repro.memory.hierarchy import MemoryConfig
+from repro.memory.memsys import DramConfig
+
+from tests.conftest import deterministic_memory_config
+
+
+def quiet_channel(symbol_space=256):
+    return CovertChannel(CovertChannelConfig(
+        symbol_space=symbol_space,
+        memory_config=deterministic_memory_config(),
+    ))
+
+
+class TestCalibration:
+    def test_threshold_between_hit_and_miss(self):
+        channel = quiet_channel()
+        threshold = channel.calibrate()
+        # Hits are a few cycles, misses a couple of hundred.
+        assert 10 < threshold < 200
+
+    def test_receive_triggers_calibration_lazily(self):
+        channel = quiet_channel(symbol_space=8)
+        channel.send_symbol(3)
+        assert channel.receive_symbol() == 3
+        assert channel.hit_threshold is not None
+
+
+class TestTransport:
+    def test_bytes_roundtrip_on_quiet_machine(self):
+        channel = quiet_channel()
+        report = channel.transmit_bytes(b"VP")
+        assert bytes(report.received) == b"VP"
+        assert report.error_rate == 0.0
+
+    def test_small_symbol_space(self):
+        channel = quiet_channel(symbol_space=4)
+        report = channel.transmit([0, 3, 1, 2, 3])
+        assert report.received == [0, 3, 1, 2, 3]
+
+    def test_throughput_positive(self):
+        channel = quiet_channel(symbol_space=16)
+        report = channel.transmit([5, 9])
+        assert report.sim_cycles > 0
+        assert report.raw_rate_kbps() > 0
+
+    def test_error_rate_counts_mismatches(self):
+        report = TransmissionReport(
+            sent=[1, 2, 3, 4], received=[1, 9, 3, -1],
+            sim_cycles=100, hit_threshold=50.0,
+        )
+        assert report.symbol_errors == 2
+        assert report.error_rate == 0.5
+
+    def test_repeated_symbols(self):
+        # The same symbol twice in a row: the entry stays trained, the
+        # re-train just deepens confidence.
+        channel = quiet_channel(symbol_space=8)
+        report = channel.transmit([6, 6, 6])
+        assert report.received == [6, 6, 6]
+
+
+class TestValidation:
+    def test_symbol_out_of_range(self):
+        channel = quiet_channel(symbol_space=4)
+        with pytest.raises(AttackError):
+            channel.send_symbol(4)
+
+    def test_empty_message(self):
+        with pytest.raises(AttackError):
+            quiet_channel(symbol_space=4).transmit([])
+
+    def test_byte_transport_needs_256_symbols(self):
+        with pytest.raises(AttackError):
+            quiet_channel(symbol_space=16).transmit_bytes(b"x")
+
+    def test_symbol_space_validation(self):
+        with pytest.raises(AttackError):
+            CovertChannelConfig(symbol_space=1)
+        with pytest.raises(AttackError):
+            CovertChannelConfig(symbol_space=10_000)
+
+
+class TestNoisyChannel:
+    def test_noisy_memory_still_mostly_correct(self):
+        channel = CovertChannel(CovertChannelConfig(
+            symbol_space=16,
+            memory_config=MemoryConfig(
+                dram=DramConfig(base_latency=180, jitter=60,
+                                tail_probability=0.05, tail_extra=120),
+                seed=9,
+            ),
+        ))
+        report = channel.transmit([1, 7, 11, 2, 14, 5, 9, 3])
+        # Hit-vs-miss stays separable under this much jitter.
+        assert report.error_rate <= 0.25

@@ -1,0 +1,132 @@
+"""Unit tests for the attack-program gadgets."""
+
+import pytest
+
+from repro.errors import AttackError
+from repro.isa.instructions import Opcode
+from repro.workloads import gadgets
+from repro.workloads.gadgets import Layout
+
+
+@pytest.fixture
+def layout():
+    return Layout()
+
+
+class TestLayout:
+    def test_probe_stride_shift(self, layout):
+        assert 1 << layout.probe_stride_shift == layout.probe_stride
+
+    def test_bad_stride_rejected(self):
+        bad = Layout(probe_stride=500)
+        with pytest.raises(AttackError):
+            bad.probe_stride_shift
+
+    def test_probe_line_addresses(self, layout):
+        assert layout.probe_line_addr(0) == layout.probe_base
+        assert (
+            layout.probe_line_addr(2) - layout.probe_line_addr(1)
+            == layout.probe_stride
+        )
+
+
+class TestTrainProgram:
+    def test_load_pinned_every_iteration(self, layout):
+        program = gadgets.train_program(
+            "t", 1, layout.sender_base_pc, layout.collide_pc, 0x1000, 4
+        )
+        trace = program.dynamic_trace()
+        load_pcs = [
+            p.pc for p in trace if p.instruction.tag == "train-load"
+        ]
+        assert load_pcs == [layout.collide_pc] * 4
+
+    def test_each_iteration_flushes_first(self, layout):
+        program = gadgets.train_program(
+            "t", 1, layout.sender_base_pc, layout.collide_pc, 0x1000, 3
+        )
+        trace = program.dynamic_trace()
+        flushes = sum(
+            1 for p in trace if p.instruction.op is Opcode.FLUSH
+        )
+        assert flushes == 3
+
+    def test_count_validation(self, layout):
+        with pytest.raises(AttackError):
+            gadgets.train_program("t", 1, 0, layout.collide_pc, 0x1000, 0)
+
+
+class TestTriggerPrograms:
+    def test_timed_trigger_brackets_with_rdtsc(self, layout):
+        program = gadgets.timed_trigger_program(
+            "t", 2, layout.receiver_base_pc, layout.collide_pc, 0x1000, 10
+        )
+        assert program.count_opcode(Opcode.RDTSC) == 2
+        assert program.pcs_tagged("trigger-load") == [layout.collide_pc]
+
+    def test_timed_trigger_chain_depends_on_load(self, layout):
+        program = gadgets.timed_trigger_program(
+            "t", 2, layout.receiver_base_pc, layout.collide_pc, 0x1000, 10
+        )
+        chain = [
+            p.instruction for p in program.instructions
+            if p.instruction.tag == "dep-chain"
+        ]
+        assert len(chain) == 10
+        assert gadgets.REG_LOADED in chain[0].source_registers()
+
+    def test_plain_trigger_has_no_rdtsc(self, layout):
+        program = gadgets.plain_trigger_program(
+            "t", 1, layout.sender_base_pc, layout.collide_pc, 0x1000, 10
+        )
+        assert program.count_opcode(Opcode.RDTSC) == 0
+
+    def test_encode_trigger_flushes_probe_lines(self, layout):
+        program = gadgets.encode_trigger_program(
+            "t", 2, layout.receiver_base_pc, layout.collide_pc, 0x1000,
+            layout, flush_lines=[0, 1, 7],
+        )
+        assert program.count_opcode(Opcode.FLUSH) == 4  # 3 lines + target
+        assert program.pcs_tagged("encode-load")
+
+    def test_encode_load_follows_pinned_trigger(self, layout):
+        program = gadgets.encode_trigger_program(
+            "t", 2, layout.receiver_base_pc, layout.collide_pc, 0x1000,
+            layout, flush_lines=[0],
+        )
+        trigger_pc = program.pcs_tagged("trigger-load")[0]
+        encode_pc = program.pcs_tagged("encode-load")[0]
+        assert trigger_pc == layout.collide_pc
+        assert encode_pc > trigger_pc
+
+
+class TestProbeProgram:
+    def test_two_rdtsc_per_line(self, layout):
+        program = gadgets.probe_program(
+            "p", 2, layout.probe_base_pc, layout, [0, 1, 2]
+        )
+        assert program.count_opcode(Opcode.RDTSC) == 6
+        assert program.count_opcode(Opcode.LOAD) == 3
+
+    def test_requires_lines(self, layout):
+        with pytest.raises(AttackError):
+            gadgets.probe_program("p", 2, 0, layout, [])
+
+    def test_probe_pcs_clear_of_collide_pc(self, layout):
+        # Probe loads must never alias the attack's predictor index.
+        program = gadgets.probe_program(
+            "p", 2, layout.probe_base_pc, layout, list(range(64))
+        )
+        load_pcs = {
+            p.pc for p in program.instructions
+            if p.instruction.op is Opcode.LOAD
+        }
+        assert layout.collide_pc not in load_pcs
+        assert layout.alt_pc not in load_pcs
+
+
+class TestIdleProgram:
+    def test_idle_runs(self, det_core, layout):
+        program = gadgets.idle_program("idle", 1, 0)
+        result = det_core.run(program)
+        assert result.retired >= 2

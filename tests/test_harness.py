@@ -1,0 +1,146 @@
+"""Tests for the harness renderers and experiment drivers."""
+
+import pytest
+
+from repro.core.channels import ChannelType
+from repro.core.model import AttackCategory
+from repro.core.variants import TrainTestAttack
+from repro.errors import HarnessError
+from repro.harness.experiment import (
+    figure5_panels,
+    run_cell,
+    window_sweep,
+)
+from repro.harness.figures import (
+    render_histogram_panel,
+    render_iteration_scatter,
+)
+from repro.harness.report import figure_report, table3_report
+from repro.harness.tables import (
+    render_defense_matrix,
+    render_defense_sweep,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.stats.distributions import TimingDistribution
+
+
+class TestTableRenderers:
+    def test_table1_lists_all_actions(self):
+        text = render_table1()
+        for symbol in ("S^KD", "R^KI", "S^SD'", "S^SI''", "—"):
+            assert symbol in text
+        assert "576" in text
+
+    def test_table2_has_twelve_rows_and_summary(self):
+        text = render_table2()
+        assert text.count("Train + Test") == 4
+        assert text.count("Modify + Test") == 2
+        assert "effective=12" in text
+
+    def test_table3_renders_missing_cells_as_dash(self):
+        result = run_cell(
+            TrainTestAttack(), ChannelType.TIMING_WINDOW, "lvp", n_runs=3
+        )
+        table = render_table3({
+            AttackCategory.TRAIN_TEST: {
+                "tw_novp": None, "tw_vp": result,
+                "pc_novp": None, "pc_vp": None,
+            }
+        })
+        assert "—" in table
+        assert "Train + Test" in table
+
+    def test_defense_sweep_renderer(self):
+        text = render_defense_sweep(
+            "Train + Test", [(1, 0.001), (3, 0.4)], secure_at=3
+        )
+        assert "minimal secure window size: 3" in text
+        assert "attack works" in text
+        assert "secure" in text
+
+    def test_defense_sweep_no_secure_window(self):
+        text = render_defense_sweep("X", [(1, 0.0)], secure_at=None)
+        assert "no secure window" in text
+
+    def test_defense_matrix_renderer(self):
+        text = render_defense_matrix([
+            {"attack": "Fill Up", "channel": "persistent",
+             "defense": "D", "pvalue": 0.5},
+            {"attack": "Fill Up", "channel": "timing-window",
+             "defense": "D", "pvalue": 0.001},
+        ])
+        assert "blocked" in text
+        assert "ATTACK WORKS" in text
+
+
+class TestFigureRenderers:
+    def test_histogram_panel_marks_effectiveness(self):
+        mapped = TimingDistribution("m", [100.0] * 10)
+        unmapped = TimingDistribution("u", [300.0] * 10)
+        text = render_histogram_panel("panel", mapped, unmapped, 0.001)
+        assert "EFFECTIVE" in text
+        assert "pvalue=0.0010" in text
+
+    def test_histogram_panel_not_effective(self):
+        same = TimingDistribution("m", [100.0] * 10)
+        text = render_histogram_panel("panel", same, same, 0.9)
+        assert "not effective" in text
+
+    def test_scatter_contains_markers(self):
+        text = render_iteration_scatter(
+            "fig7", [250.0, 300.0, 260.0, 310.0], [0, 1, 0, 1]
+        )
+        assert "o" in text
+        assert "x" in text
+
+    def test_scatter_empty(self):
+        assert "no data" in render_iteration_scatter("t", [], [])
+
+
+class TestExperimentDrivers:
+    def test_figure5_shape_small(self):
+        panels = figure5_panels(n_runs=25, seed=0)
+        assert len(panels) == 4
+        titles = [title for title, _ in panels]
+        assert any("no VP" in title for title in titles)
+        novp_tw, lvp_tw, novp_pc, lvp_pc = [r for _, r in panels]
+        assert not novp_tw.attack_succeeds
+        assert lvp_tw.attack_succeeds
+        assert not novp_pc.attack_succeeds
+        assert lvp_pc.attack_succeeds
+
+    def test_figure_report_renders(self):
+        panels = figure5_panels(n_runs=8, seed=0)
+        text = figure_report("Figure 5", panels)
+        assert "Figure 5" in text
+        assert text.count("pvalue=") == 4
+
+    def test_window_sweep_finds_secure_window(self):
+        rows, secure_at = window_sweep(
+            TrainTestAttack(), windows=(1, 6), n_runs=30, seeds=(4, 5, 6)
+        )
+        assert rows[0][1] < 0.05
+        assert secure_at == 6
+
+    def test_window_sweep_validation(self):
+        with pytest.raises(HarnessError):
+            window_sweep(TrainTestAttack(), windows=())
+        with pytest.raises(HarnessError):
+            window_sweep(TrainTestAttack(), windows=(1,), seeds=())
+
+    def test_table3_report_contains_verdict(self):
+        result = run_cell(
+            TrainTestAttack(), ChannelType.TIMING_WINDOW, "lvp", n_runs=30
+        )
+        none_result = run_cell(
+            TrainTestAttack(), ChannelType.TIMING_WINDOW, "none", n_runs=30
+        )
+        text = table3_report({
+            AttackCategory.TRAIN_TEST: {
+                "tw_novp": none_result, "tw_vp": result,
+                "pc_novp": None, "pc_vp": None,
+            }
+        })
+        assert "shape check" in text

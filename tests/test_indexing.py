@@ -1,0 +1,88 @@
+"""Unit tests for VPS index functions."""
+
+import pytest
+
+from repro.errors import PredictorError
+from repro.vp.base import AccessKey
+from repro.vp.indexing import (
+    DATA_ADDRESS_INDEX,
+    PC_INDEX,
+    PC_PID_INDEX,
+    IndexFunction,
+    IndexSource,
+)
+
+
+class TestPcIndexing:
+    def test_same_pc_collides_across_pids(self):
+        # The property the cross-process attacks rely on (Section V-B).
+        a = AccessKey(pc=0x1000, addr=0x100, pid=1)
+        b = AccessKey(pc=0x1000, addr=0x900, pid=2)
+        assert PC_INDEX.collides(a, b)
+
+    def test_different_pcs_do_not_collide(self):
+        a = AccessKey(pc=0x1000, addr=0x100)
+        b = AccessKey(pc=0x1004, addr=0x100)
+        assert not PC_INDEX.collides(a, b)
+
+    def test_pid_mixing_separates_processes(self):
+        a = AccessKey(pc=0x1000, addr=0x100, pid=1)
+        b = AccessKey(pc=0x1000, addr=0x100, pid=2)
+        assert not PC_PID_INDEX.collides(a, b)
+
+    def test_pid_mixing_keeps_same_process_collisions(self):
+        a = AccessKey(pc=0x1000, addr=0x100, pid=1)
+        b = AccessKey(pc=0x1000, addr=0x200, pid=1)
+        assert PC_PID_INDEX.collides(a, b)
+
+
+class TestDataAddressIndexing:
+    def test_same_address_collides(self):
+        a = AccessKey(pc=0x1000, addr=0x5000)
+        b = AccessKey(pc=0x2000, addr=0x5000)
+        assert DATA_ADDRESS_INDEX.collides(a, b)
+
+    def test_different_addresses_do_not(self):
+        a = AccessKey(pc=0x1000, addr=0x5000)
+        b = AccessKey(pc=0x1000, addr=0x5008)
+        assert not DATA_ADDRESS_INDEX.collides(a, b)
+
+
+class TestPartialBits:
+    def test_masked_index_aliases_distant_addresses(self):
+        # "Using a subset of the address bits ... will introduce
+        # conflicts between different addresses" (Section I-A).
+        masked = IndexFunction(source=IndexSource.PC, bits=12)
+        a = AccessKey(pc=0x1100, addr=0)
+        b = AccessKey(pc=0x21100, addr=0)
+        assert masked.collides(a, b)
+        assert not PC_INDEX.collides(a, b)
+
+    def test_masked_index_still_separates_low_bits(self):
+        masked = IndexFunction(source=IndexSource.PC, bits=12)
+        a = AccessKey(pc=0x100, addr=0)
+        b = AccessKey(pc=0x104, addr=0)
+        assert not masked.collides(a, b)
+
+    def test_bits_validation(self):
+        with pytest.raises(PredictorError):
+            IndexFunction(bits=0)
+
+    def test_pid_bits_disjoint_from_masked_address(self):
+        masked = IndexFunction(source=IndexSource.PC, bits=12,
+                               include_pid=True)
+        a = AccessKey(pc=0xFFC, addr=0, pid=1)
+        b = AccessKey(pc=0xFFC, addr=0, pid=2)
+        assert not masked.collides(a, b)
+
+
+class TestDescribe:
+    def test_describe_mentions_source(self):
+        assert "pc" in PC_INDEX.describe()
+        assert "data-address" in DATA_ADDRESS_INDEX.describe()
+
+    def test_describe_mentions_pid_and_bits(self):
+        func = IndexFunction(source=IndexSource.PC, bits=10, include_pid=True)
+        text = func.describe()
+        assert "10b" in text
+        assert "pid" in text

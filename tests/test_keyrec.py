@@ -1,0 +1,73 @@
+"""Unit tests for key reconstruction from leaked bits."""
+
+import pytest
+
+from repro.crypto.keyrec import (
+    BitEstimate,
+    brute_force_budget,
+    majority_vote,
+    reconstruct_exponent,
+    uncertain_positions,
+)
+from repro.errors import CryptoError
+
+
+class TestMajorityVote:
+    def test_unanimous(self):
+        estimates = majority_vote([[1, 0, 1], [1, 0, 1], [1, 0, 1]])
+        assert [e.value for e in estimates] == [1, 0, 1]
+        assert all(e.confidence == 1.0 for e in estimates)
+
+    def test_majority_wins(self):
+        estimates = majority_vote([[1, 0], [1, 1], [0, 0]])
+        assert estimates[0].value == 1
+        assert estimates[1].value == 0
+
+    def test_tie_decodes_to_one(self):
+        estimates = majority_vote([[1], [0]])
+        assert estimates[0].value == 1
+        assert estimates[0].confidence == 0.5
+
+    def test_validation(self):
+        with pytest.raises(CryptoError):
+            majority_vote([])
+        with pytest.raises(CryptoError):
+            majority_vote([[1, 0], [1]])
+
+
+class TestReconstruction:
+    def test_reconstruct_exponent(self):
+        estimates = majority_vote([[1, 0, 1, 1]])
+        assert reconstruct_exponent(estimates) == 0b1011
+
+    def test_majority_fixes_noisy_runs(self):
+        true_bits = [1, 0, 1, 1, 0, 0, 1]
+        runs = [
+            true_bits,
+            true_bits,
+            [1, 0, 0, 1, 0, 0, 1],  # one flipped bit
+        ]
+        estimates = majority_vote(runs)
+        assert [e.value for e in estimates] == true_bits
+
+
+class TestUncertainty:
+    def test_uncertain_positions(self):
+        estimates = [
+            BitEstimate(position=0, ones=5, total=5),   # confident
+            BitEstimate(position=1, ones=3, total=5),   # 0.6 < 0.75
+            BitEstimate(position=2, ones=1, total=5),   # confident 0
+        ]
+        assert uncertain_positions(estimates, threshold=0.75) == [1]
+
+    def test_brute_force_budget(self):
+        estimates = [
+            BitEstimate(position=0, ones=3, total=5),
+            BitEstimate(position=1, ones=2, total=5),
+            BitEstimate(position=2, ones=5, total=5),
+        ]
+        assert brute_force_budget(estimates, threshold=0.75) == 4
+
+    def test_threshold_validation(self):
+        with pytest.raises(CryptoError):
+            uncertain_positions([], threshold=0.4)

@@ -1,0 +1,130 @@
+"""Unit tests for the Last Value Predictor."""
+
+import pytest
+
+from repro.errors import PredictorError
+from repro.vp.base import AccessKey
+from repro.vp.indexing import DATA_ADDRESS_INDEX
+from repro.vp.lvp import LastValuePredictor
+
+
+def key(pc=0x1000, addr=0x100, pid=0):
+    return AccessKey(pc=pc, addr=addr, pid=pid)
+
+
+def train_times(predictor, access_key, value, times):
+    for _ in range(times):
+        predictor.train(access_key, value)
+
+
+class TestTrainingThreshold:
+    def test_first_prediction_on_confidence_plus_one_access(self):
+        # Paper footnote 3: C accesses train; the C+1-th is predicted.
+        lvp = LastValuePredictor(confidence_threshold=4)
+        for access in range(4):
+            assert lvp.predict(key()) is None
+            lvp.train(key(), 42)
+        prediction = lvp.predict(key())
+        assert prediction is not None
+        assert prediction.value == 42
+
+    def test_below_threshold_no_prediction(self):
+        lvp = LastValuePredictor(confidence_threshold=4)
+        train_times(lvp, key(), 42, 3)
+        assert lvp.predict(key()) is None
+
+    def test_threshold_one(self):
+        lvp = LastValuePredictor(confidence_threshold=1)
+        lvp.train(key(), 7)
+        assert lvp.predict(key()).value == 7
+
+
+class TestInvalidation:
+    def test_single_conflicting_access_kills_prediction(self):
+        # The 1-access modify step of Train + Test (Figure 3).
+        lvp = LastValuePredictor(confidence_threshold=4)
+        train_times(lvp, key(), 42, 4)
+        lvp.train(key(), 99)
+        assert lvp.predict(key()) is None
+        assert lvp.confidence_of(key()) == 0
+        assert lvp.value_of(key()) == 99
+
+    def test_retrain_after_conflict(self):
+        # The confidence-count modify step: reset + C matches.
+        lvp = LastValuePredictor(confidence_threshold=4)
+        train_times(lvp, key(), 42, 4)
+        train_times(lvp, key(), 99, 5)
+        prediction = lvp.predict(key())
+        assert prediction is not None
+        assert prediction.value == 99
+
+
+class TestIndexing:
+    def test_pc_indexed_by_default(self):
+        lvp = LastValuePredictor(confidence_threshold=2)
+        train_times(lvp, key(pc=0x10, addr=0x100), 42, 2)
+        # Same PC, different address and pid: still predicted.
+        assert lvp.predict(key(pc=0x10, addr=0x900, pid=3)) is not None
+        # Different PC: not predicted.
+        assert lvp.predict(key(pc=0x14, addr=0x100)) is None
+
+    def test_data_address_indexing(self):
+        lvp = LastValuePredictor(
+            confidence_threshold=2, index_function=DATA_ADDRESS_INDEX
+        )
+        train_times(lvp, key(pc=0x10, addr=0x100), 42, 2)
+        assert lvp.predict(key(pc=0x99, addr=0x100)) is not None
+        assert lvp.predict(key(pc=0x10, addr=0x108)) is None
+
+
+class TestEviction:
+    def test_capacity_eviction_counted(self):
+        lvp = LastValuePredictor(confidence_threshold=2, capacity=2)
+        lvp.train(key(pc=0x10), 1)
+        lvp.train(key(pc=0x14), 2)
+        lvp.train(key(pc=0x18), 3)
+        assert lvp.stats.evictions == 1
+
+    def test_useful_entries_survive(self):
+        lvp = LastValuePredictor(confidence_threshold=2, capacity=2)
+        train_times(lvp, key(pc=0x10), 1, 5)   # high usefulness
+        lvp.train(key(pc=0x14), 2)
+        lvp.train(key(pc=0x18), 3)              # evicts 0x14
+        assert lvp.value_of(key(pc=0x10)) == 1
+        assert lvp.value_of(key(pc=0x14)) is None
+
+
+class TestStats:
+    def test_coverage_and_accuracy(self):
+        lvp = LastValuePredictor(confidence_threshold=2)
+        train_times(lvp, key(), 42, 2)
+        prediction = lvp.predict(key())
+        lvp.train(key(), 42, prediction)
+        wrong = lvp.predict(key())
+        lvp.train(key(), 13, wrong)
+        assert lvp.stats.predictions == 2
+        assert lvp.stats.correct == 1
+        assert lvp.stats.incorrect == 1
+        assert lvp.stats.accuracy == pytest.approx(0.5)
+
+    def test_no_prediction_counted(self):
+        lvp = LastValuePredictor()
+        lvp.predict(key())
+        assert lvp.stats.no_predictions == 1
+        assert lvp.stats.coverage == 0.0
+
+
+class TestValidation:
+    def test_threshold_validation(self):
+        with pytest.raises(PredictorError):
+            LastValuePredictor(confidence_threshold=0)
+
+    def test_max_confidence_validation(self):
+        with pytest.raises(PredictorError):
+            LastValuePredictor(confidence_threshold=8, max_confidence=4)
+
+    def test_reset_clears_table(self):
+        lvp = LastValuePredictor(confidence_threshold=2)
+        train_times(lvp, key(), 42, 2)
+        lvp.reset()
+        assert lvp.predict(key()) is None

@@ -1,0 +1,94 @@
+"""Unit tests for the DRAM model and backing store."""
+
+import random
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory.memsys import BackingStore, DramConfig, DramModel
+
+
+class TestDramConfig:
+    def test_defaults_valid(self):
+        DramConfig()
+
+    def test_rejects_zero_base(self):
+        with pytest.raises(MemoryError_):
+            DramConfig(base_latency=0)
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(MemoryError_):
+            DramConfig(jitter=-1)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(MemoryError_):
+            DramConfig(tail_probability=1.5)
+
+
+class TestDramModel:
+    def test_deterministic_when_jitterless(self):
+        model = DramModel(DramConfig(base_latency=100, jitter=0,
+                                     tail_probability=0.0))
+        assert all(model.access_latency() == 100 for _ in range(20))
+
+    def test_jitter_bounds(self):
+        config = DramConfig(base_latency=100, jitter=50, tail_probability=0.0)
+        model = DramModel(config, rng=random.Random(1))
+        for _ in range(200):
+            latency = model.access_latency()
+            assert 100 <= latency <= 150
+
+    def test_tail_adds_extra(self):
+        config = DramConfig(
+            base_latency=100, jitter=0, tail_probability=1.0, tail_extra=40
+        )
+        model = DramModel(config)
+        assert model.access_latency() == 140
+
+    def test_seeded_reproducibility(self):
+        config = DramConfig()
+        first = DramModel(config, rng=random.Random(5))
+        second = DramModel(config, rng=random.Random(5))
+        assert [first.access_latency() for _ in range(20)] == [
+            second.access_latency() for _ in range(20)
+        ]
+
+    def test_access_counter(self):
+        model = DramModel()
+        model.access_latency()
+        model.access_latency()
+        assert model.accesses == 2
+
+
+class TestBackingStore:
+    def test_write_read_roundtrip(self):
+        store = BackingStore()
+        store.write(0x1000, 42)
+        assert store.read(0x1000) == 42
+        assert store.is_written(0x1000)
+
+    def test_defaults_are_deterministic(self):
+        first = BackingStore(default_seed=1)
+        second = BackingStore(default_seed=1)
+        assert first.read(0x1234) == second.read(0x1234)
+
+    def test_defaults_differ_by_address(self):
+        store = BackingStore()
+        values = {store.read(addr) for addr in range(0, 64 * 100, 64)}
+        assert len(values) == 100  # effectively no collisions
+
+    def test_defaults_differ_by_seed(self):
+        assert BackingStore(1).read(0x40) != BackingStore(2).read(0x40)
+
+    def test_values_truncated_to_64_bits(self):
+        store = BackingStore()
+        store.write(0, 1 << 70)
+        assert store.read(0) < (1 << 64)
+
+    def test_clear_restores_defaults(self):
+        store = BackingStore()
+        default = store.read(0x40)
+        store.write(0x40, 1)
+        store.clear()
+        assert store.read(0x40) == default
+        assert store.written_count() == 0

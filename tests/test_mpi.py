@@ -1,0 +1,115 @@
+"""Unit and property tests for the MPI bignum."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.mpi import LIMB_BASE, Mpi, ONE
+from repro.errors import CryptoError
+
+_big_ints = st.integers(min_value=0, max_value=(1 << 256) - 1)
+_positive_ints = st.integers(min_value=1, max_value=(1 << 256) - 1)
+
+
+class TestConversion:
+    def test_roundtrip_zero(self):
+        assert Mpi.from_int(0).to_int() == 0
+        assert Mpi.from_int(0).is_zero()
+
+    def test_roundtrip_values(self):
+        for value in (1, 0xFFFF, 0x10000, 0x123456789ABCDEF):
+            assert Mpi.from_int(value).to_int() == value
+
+    def test_limbs_little_endian(self):
+        mpi = Mpi.from_int(0x0001_0002)
+        assert mpi.limbs == (2, 1)
+
+    def test_no_trailing_zero_limbs(self):
+        assert Mpi((5, 0, 0)).limbs == (5,)
+
+    def test_negative_rejected(self):
+        with pytest.raises(CryptoError):
+            Mpi.from_int(-1)
+
+    def test_limb_range_validated(self):
+        with pytest.raises(CryptoError):
+            Mpi((LIMB_BASE,))
+
+    def test_bit_length(self):
+        assert Mpi.from_int(0).bit_length() == 0
+        assert Mpi.from_int(1).bit_length() == 1
+        assert Mpi.from_int(0x1_0000).bit_length() == 17
+
+
+class TestComparison:
+    def test_compare_orders(self):
+        assert Mpi.from_int(5).compare(Mpi.from_int(9)) == -1
+        assert Mpi.from_int(9).compare(Mpi.from_int(5)) == 1
+        assert Mpi.from_int(7).compare(Mpi.from_int(7)) == 0
+
+    def test_equality_and_hash(self):
+        assert Mpi.from_int(42) == Mpi.from_int(42)
+        assert hash(Mpi.from_int(42)) == hash(Mpi.from_int(42))
+
+    def test_lt(self):
+        assert Mpi.from_int(1) < Mpi.from_int(2)
+
+
+class TestArithmeticBasics:
+    def test_sub_underflow_rejected(self):
+        with pytest.raises(CryptoError):
+            Mpi.from_int(1).sub(Mpi.from_int(2))
+
+    def test_mul_by_zero(self):
+        assert Mpi.from_int(12345).mul(Mpi()).is_zero()
+
+    def test_mod_identity_below_modulus(self):
+        assert Mpi.from_int(5).mod(Mpi.from_int(100)).to_int() == 5
+
+    def test_mod_by_zero_rejected(self):
+        with pytest.raises(CryptoError):
+            Mpi.from_int(5).mod(Mpi())
+
+    def test_shift_left(self):
+        assert Mpi.from_int(3).shift_left(17).to_int() == 3 << 17
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(CryptoError):
+            ONE.shift_left(-1)
+
+
+class TestArithmeticProperties:
+    @given(a=_big_ints, b=_big_ints)
+    @settings(max_examples=60, deadline=None)
+    def test_add_matches_int(self, a, b):
+        assert Mpi.from_int(a).add(Mpi.from_int(b)).to_int() == a + b
+
+    @given(a=_big_ints, b=_big_ints)
+    @settings(max_examples=60, deadline=None)
+    def test_sub_matches_int(self, a, b):
+        large, small = max(a, b), min(a, b)
+        assert (
+            Mpi.from_int(large).sub(Mpi.from_int(small)).to_int()
+            == large - small
+        )
+
+    @given(a=_big_ints, b=_big_ints)
+    @settings(max_examples=60, deadline=None)
+    def test_mul_matches_int(self, a, b):
+        assert Mpi.from_int(a).mul(Mpi.from_int(b)).to_int() == a * b
+
+    @given(a=_big_ints)
+    @settings(max_examples=60, deadline=None)
+    def test_sqr_matches_mul(self, a):
+        mpi = Mpi.from_int(a)
+        assert mpi.sqr().to_int() == a * a
+
+    @given(a=_big_ints, m=_positive_ints)
+    @settings(max_examples=60, deadline=None)
+    def test_mod_matches_int(self, a, m):
+        assert Mpi.from_int(a).mod(Mpi.from_int(m)).to_int() == a % m
+
+    @given(a=_big_ints, shift=st.integers(0, 80))
+    @settings(max_examples=40, deadline=None)
+    def test_shift_matches_int(self, a, shift):
+        assert Mpi.from_int(a).shift_left(shift).to_int() == a << shift

@@ -1,0 +1,66 @@
+"""Tests for the value-locality performance workloads."""
+
+import pytest
+
+from repro.errors import AttackError
+from repro.memory.hierarchy import MemorySystem
+from repro.vp.lvp import LastValuePredictor
+from repro.vp.nopred import NoPredictor
+from repro.workloads.perf import (
+    run_workload,
+    speedup_percent,
+    value_locality_workload,
+)
+
+from tests.conftest import deterministic_memory_config
+
+
+def measure(stable_fraction, dependent_work=30):
+    workload = value_locality_workload(
+        stable_fraction=stable_fraction, dependent_work=dependent_work
+    )
+    baseline = run_workload(
+        workload, NoPredictor(), MemorySystem(deterministic_memory_config())
+    )
+    predicted = run_workload(
+        workload,
+        LastValuePredictor(confidence_threshold=4),
+        MemorySystem(deterministic_memory_config()),
+    )
+    return speedup_percent(baseline, predicted)
+
+
+class TestWorkloadShape:
+    def test_split_counts(self):
+        workload = value_locality_workload(
+            loads_per_iteration=4, stable_fraction=0.5
+        )
+        assert len(workload.stable_addrs) == 2
+        assert len(workload.volatile_addrs) == 2
+
+    def test_fraction_validation(self):
+        with pytest.raises(AttackError):
+            value_locality_workload(stable_fraction=1.5)
+
+    def test_shape_validation(self):
+        with pytest.raises(AttackError):
+            value_locality_workload(iterations=0)
+
+
+class TestSpeedupShape:
+    def test_full_locality_gives_speedup(self):
+        # The paper's motivation: VP improves performance (Section I:
+        # 4.8%-11.2% across designs).
+        assert measure(1.0) > 3.0
+
+    def test_no_locality_gives_no_speedup(self):
+        assert abs(measure(0.0)) < 1.0
+
+    def test_speedup_monotone_in_locality(self):
+        low = measure(0.25)
+        high = measure(1.0)
+        assert high > low
+
+    def test_speedup_percent_validation(self):
+        with pytest.raises(AttackError):
+            speedup_percent(100, 0)

@@ -1,0 +1,99 @@
+"""Tests for artifact persistence."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.attack import AttackConfig, AttackRunner
+from repro.core.variants import TrainTestAttack
+from repro.errors import HarnessError
+from repro.harness.persistence import (
+    experiment_record,
+    run_all,
+    save_json,
+    save_text,
+)
+
+
+@pytest.fixture
+def result():
+    config = AttackConfig(n_runs=5, seed=1)
+    return AttackRunner(TrainTestAttack(), config).run_experiment()
+
+
+class TestRecords:
+    def test_experiment_record_is_json_serialisable(self, result):
+        record = experiment_record(result)
+        text = json.dumps(record)
+        parsed = json.loads(text)
+        assert parsed["variant"] == "Train + Test"
+        assert parsed["channel"] == "timing-window"
+        assert isinstance(parsed["pvalue"], float)
+        assert parsed["mapped_samples"] == 5
+
+
+class TestSavers:
+    def test_save_json_roundtrip(self, tmp_path):
+        path = str(tmp_path / "x.json")
+        save_json(path, {"a": 1})
+        assert json.load(open(path)) == {"a": 1}
+
+    def test_save_text(self, tmp_path):
+        path = str(tmp_path / "x.txt")
+        save_text(path, "hello")
+        assert open(path).read() == "hello\n"
+
+    def test_missing_directory_rejected(self):
+        with pytest.raises(HarnessError):
+            save_json("/nonexistent-dir-xyz/x.json", {})
+
+
+class TestRunAll:
+    def test_selected_artifacts(self, tmp_path):
+        written = run_all(
+            str(tmp_path), n_runs=4, seed=1,
+            artifacts=["table1", "table2"],
+        )
+        assert set(written) == {"table1", "table2"}
+        assert os.path.exists(written["table1"])
+        table2 = json.load(open(str(tmp_path / "table2.json")))
+        assert table2["verdicts"]["effective"] == 12
+
+    def test_fig5_artifact_records_four_panels(self, tmp_path):
+        run_all(str(tmp_path), n_runs=4, seed=1, artifacts=["fig5"])
+        payload = json.load(open(str(tmp_path / "fig5.json")))
+        assert len(payload["panels"]) == 4
+        assert payload["n_runs"] == 4
+
+    def test_unknown_artifact_rejected(self, tmp_path):
+        with pytest.raises(HarnessError):
+            run_all(str(tmp_path), artifacts=["bogus"])
+
+    def test_missing_out_dir_rejected(self):
+        with pytest.raises(HarnessError):
+            run_all("/nonexistent-dir-xyz")
+
+
+class TestRunAllHeavyArtifacts:
+    def test_table3_artifact(self, tmp_path):
+        import json
+        written = run_all(
+            str(tmp_path), n_runs=3, seed=1, artifacts=["table3"]
+        )
+        payload = json.load(open(str(tmp_path / "table3.json")))
+        assert len(payload["cells"]) == 6
+        train_test = payload["cells"]["Train + Test"]
+        assert train_test["tw_vp"] is not None
+        assert train_test["pc_vp"] is not None
+        # Channel-free categories keep their dashes.
+        assert payload["cells"]["Spill Over"]["pc_vp"] is None
+        assert os.path.exists(written["table3"])
+
+    def test_fig7_artifact(self, tmp_path):
+        import json
+        run_all(str(tmp_path), artifacts=["fig7"])
+        payload = json.load(open(str(tmp_path / "fig7.json")))
+        assert payload["bits"] == 60
+        assert 0.8 <= payload["success_rate"] <= 1.0
+        assert len(payload["observations"]) == 60

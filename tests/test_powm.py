@@ -1,0 +1,92 @@
+"""Tests for libgcrypt-style modular exponentiation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.mpi import Mpi
+from repro.crypto.powm import exponent_bits, powm, powm_int
+from repro.errors import CryptoError
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("base,exp,mod", [
+        (2, 10, 1000),
+        (7, 0, 13),
+        (5, 1, 7),
+        (123456789, 987654, 1000000007),
+        (2, 64, (1 << 61) - 1),
+    ])
+    def test_matches_builtin_pow(self, base, exp, mod):
+        assert powm_int(base, exp, mod) == pow(base, exp, mod)
+
+    @given(
+        base=st.integers(2, (1 << 96) - 1),
+        exp=st.integers(1, (1 << 48) - 1),
+        mod=st.integers(2, (1 << 96) - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_builtin_pow(self, base, exp, mod):
+        assert powm_int(base, exp, mod) == pow(base, exp, mod)
+
+    def test_zero_modulus_rejected(self):
+        with pytest.raises(CryptoError):
+            powm(Mpi.from_int(2), Mpi.from_int(3), Mpi.from_int(0))
+
+
+class TestTrace:
+    def test_trace_length_equals_bit_count(self):
+        _, trace = powm(Mpi.from_int(3), Mpi.from_int(0b1011), Mpi.from_int(97))
+        assert len(trace) == 4
+
+    def test_swap_follows_exponent_bits(self):
+        # Figure 6: the conditional swap runs exactly when e_bit is 1.
+        exponent = 0b110101
+        _, trace = powm(
+            Mpi.from_int(5), Mpi.from_int(exponent), Mpi.from_int(1009)
+        )
+        for iteration, bit in zip(trace, exponent_bits(Mpi.from_int(exponent))):
+            assert iteration.e_bit == bit
+            assert iteration.swapped == bool(bit)
+
+    def test_exponent_bits_msb_first(self):
+        assert exponent_bits(Mpi.from_int(0b1010)) == [1, 0, 1, 0]
+        assert exponent_bits(Mpi.from_int(0)) == []
+
+
+class TestBaseBlinding:
+    """Section IV-D1: blinding does not hide the swap pattern."""
+
+    def test_blinded_result_matches_int_math(self):
+        from repro.crypto.powm import powm_base_blinded
+        base, exp, mod, r = 123456789, 0b101101, 10**9 + 7, 424242
+        result, _ = powm_base_blinded(
+            Mpi.from_int(base), Mpi.from_int(exp), Mpi.from_int(mod),
+            Mpi.from_int(r),
+        )
+        assert result.to_int() == pow(base * r % mod, exp, mod)
+
+    def test_swap_trace_identical_across_blinding_factors(self):
+        # The attack's observable per iteration is the swap; fresh
+        # blinding every run must not change it.
+        from repro.crypto.powm import powm_base_blinded
+        exponent = Mpi.from_int(0b1100101)
+        modulus = Mpi.from_int(0xFFFF_FFEF)
+        base = Mpi.from_int(0x1234)
+        traces = []
+        for blinding in (3, 99991, 0xDEAD):
+            _, trace = powm_base_blinded(
+                base, exponent, modulus, Mpi.from_int(blinding)
+            )
+            traces.append([it.swapped for it in trace])
+        assert traces[0] == traces[1] == traces[2]
+        _, unblinded = powm(base, exponent, modulus)
+        assert traces[0] == [it.swapped for it in unblinded]
+
+    def test_zero_blinding_rejected(self):
+        from repro.crypto.powm import powm_base_blinded
+        with pytest.raises(CryptoError):
+            powm_base_blinded(
+                Mpi.from_int(5), Mpi.from_int(3), Mpi.from_int(7),
+                Mpi.from_int(7),  # 7 mod 7 == 0
+            )

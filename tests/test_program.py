@@ -1,0 +1,157 @@
+"""Unit tests for Program and loop-region expansion."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa import instructions as ins
+from repro.isa.program import LoopRegion, PlacedInstruction, Program
+
+
+def _placed(instructions, base_pc=0):
+    return [
+        PlacedInstruction(pc=base_pc + 4 * i, instruction=instr)
+        for i, instr in enumerate(instructions)
+    ]
+
+
+def _simple_program(body_count=3, loops=None):
+    instructions = [ins.nop() for _ in range(body_count)] + [ins.halt()]
+    return Program(_placed(instructions), loops=loops)
+
+
+class TestProgramValidation:
+    def test_requires_instructions(self):
+        with pytest.raises(IsaError):
+            Program([])
+
+    def test_requires_halt_terminator(self):
+        with pytest.raises(IsaError):
+            Program(_placed([ins.nop()]))
+
+    def test_rejects_unaligned_pc(self):
+        placed = [PlacedInstruction(pc=2, instruction=ins.halt())]
+        with pytest.raises(IsaError):
+            Program(placed)
+
+    def test_rejects_non_increasing_pcs(self):
+        placed = [
+            PlacedInstruction(pc=8, instruction=ins.nop()),
+            PlacedInstruction(pc=4, instruction=ins.halt()),
+        ]
+        with pytest.raises(IsaError):
+            Program(placed)
+
+    def test_pc_gaps_are_allowed(self):
+        placed = [
+            PlacedInstruction(pc=0, instruction=ins.nop()),
+            PlacedInstruction(pc=0x1000, instruction=ins.halt()),
+        ]
+        program = Program(placed)
+        assert program.start_pc == 0
+        assert program.end_pc == 0x1000
+
+    def test_loop_region_must_fit(self):
+        with pytest.raises(IsaError):
+            _simple_program(2, loops=[LoopRegion(start=0, stop=10, count=2)])
+
+    def test_overlapping_loops_rejected(self):
+        with pytest.raises(IsaError):
+            _simple_program(
+                3,
+                loops=[
+                    LoopRegion(start=0, stop=2, count=2),
+                    LoopRegion(start=1, stop=3, count=2),
+                ],
+            )
+
+
+class TestLoopRegion:
+    def test_count_must_be_positive(self):
+        with pytest.raises(IsaError):
+            LoopRegion(start=0, stop=1, count=0)
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(IsaError):
+            LoopRegion(start=3, stop=3, count=1)
+
+    def test_contains_strict_nesting(self):
+        outer = LoopRegion(start=0, stop=5, count=2)
+        inner = LoopRegion(start=1, stop=3, count=2)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+        assert not outer.contains(outer)
+
+    def test_overlaps_partial(self):
+        first = LoopRegion(start=0, stop=3, count=2)
+        second = LoopRegion(start=2, stop=5, count=2)
+        assert first.overlaps(second)
+
+    def test_nested_regions_do_not_overlap(self):
+        outer = LoopRegion(start=0, stop=5, count=2)
+        inner = LoopRegion(start=1, stop=3, count=2)
+        assert not outer.overlaps(inner)
+
+
+class TestDynamicTrace:
+    def test_no_loops_trace_equals_static(self):
+        program = _simple_program(3)
+        assert program.dynamic_trace() == program.instructions
+
+    def test_single_loop_repeats_same_pcs(self):
+        program = _simple_program(
+            3, loops=[LoopRegion(start=0, stop=2, count=3)]
+        )
+        trace = program.dynamic_trace()
+        # 2 instructions x 3 iterations + 1 trailing nop + halt
+        assert len(trace) == 8
+        pcs = [placed.pc for placed in trace[:6]]
+        assert pcs == [0, 4, 0, 4, 0, 4]
+
+    def test_nested_loops_multiply(self):
+        # Body: [a, b, c]; inner loop over b x2, outer over a..b x3.
+        program = _simple_program(
+            3,
+            loops=[
+                LoopRegion(start=0, stop=2, count=3),
+                LoopRegion(start=1, stop=2, count=2),
+            ],
+        )
+        trace = program.dynamic_trace()
+        # Outer: (a + b*2) x 3 = 9, plus c and halt.
+        assert len(trace) == 11
+
+    def test_dynamic_length_is_cached(self):
+        program = _simple_program(
+            3, loops=[LoopRegion(start=0, stop=2, count=5)]
+        )
+        assert program.dynamic_length() == program.dynamic_length()
+        assert program.dynamic_trace() is program.dynamic_trace()
+
+
+class TestIntrospection:
+    def test_labels_resolve(self):
+        program = Program(
+            _placed([ins.nop(), ins.halt()]), labels={"entry": 0}
+        )
+        assert program.pc_of_label("entry") == 0
+        with pytest.raises(IsaError):
+            program.pc_of_label("missing")
+
+    def test_pcs_tagged_finds_tags(self):
+        placed = _placed([ins.load(1, imm=0, tag="trigger"), ins.halt()])
+        program = Program(placed)
+        assert program.pcs_tagged("trigger") == [0]
+        assert program.pcs_tagged("absent") == []
+
+    def test_count_opcode(self):
+        program = _simple_program(4)
+        assert program.count_opcode(ins.Opcode.NOP) == 4
+        assert program.count_opcode(ins.Opcode.HALT) == 1
+
+    def test_listing_contains_name_and_labels(self):
+        program = Program(
+            _placed([ins.nop(), ins.halt()]), name="demo", labels={"top": 0}
+        )
+        listing = program.listing()
+        assert "demo" in listing
+        assert "top:" in listing

@@ -1,0 +1,120 @@
+"""Property-based model-equivalence tests.
+
+Two structural invariants:
+
+* The set-associative cache behaves exactly like an idealised
+  reference model (per-set LRU lists) under random access sequences.
+* The concrete :class:`LastValuePredictor` agrees with the attack
+  model's abstract VPS semantics (:class:`_AbstractVps` in
+  :mod:`repro.core.model`) on every train/predict sequence — this ties
+  the Section V model directly to the simulated hardware.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import _AbstractVps
+from repro.memory.cache import SetAssociativeCache
+from repro.vp.base import AccessKey
+from repro.vp.lvp import LastValuePredictor
+
+# ----------------------------------------------------------------------
+# Cache vs. reference model
+# ----------------------------------------------------------------------
+
+_WAYS = 2
+_SETS = 4
+_LINE = 64
+
+_cache_op = st.tuples(
+    st.sampled_from(["access", "flush", "check"]),
+    st.integers(0, 31),  # line number; maps to sets 0..3 with conflicts
+)
+
+
+class _ReferenceCache:
+    """Per-set LRU list reference model."""
+
+    def __init__(self) -> None:
+        self.sets = [OrderedDict() for _ in range(_SETS)]
+
+    def access(self, line: int) -> None:
+        index = line % _SETS
+        tag = line // _SETS
+        entries = self.sets[index]
+        if tag in entries:
+            entries.move_to_end(tag)
+            return
+        entries[tag] = True
+        if len(entries) > _WAYS:
+            entries.popitem(last=False)
+
+    def flush(self, line: int) -> None:
+        self.sets[line % _SETS].pop(line // _SETS, None)
+
+    def contains(self, line: int) -> bool:
+        return (line // _SETS) in self.sets[line % _SETS]
+
+
+@given(ops=st.lists(_cache_op, max_size=120))
+@settings(max_examples=80, deadline=None)
+def test_cache_matches_reference_lru_model(ops):
+    cache = SetAssociativeCache(
+        "prop", _SETS * _WAYS * _LINE, _WAYS, line_size=_LINE, policy="lru"
+    )
+    reference = _ReferenceCache()
+    for op, line in ops:
+        addr = line * _LINE
+        if op == "access":
+            if cache.lookup(addr):
+                pass
+            else:
+                cache.fill(addr)
+            reference.access(line)
+        elif op == "flush":
+            cache.invalidate(addr)
+            reference.flush(line)
+        else:
+            assert cache.contains(addr) == reference.contains(line)
+    for line in range(32):
+        assert cache.contains(line * _LINE) == reference.contains(line)
+
+
+# ----------------------------------------------------------------------
+# Concrete LVP vs. the attack model's abstract VPS
+# ----------------------------------------------------------------------
+
+_vps_event = st.tuples(
+    st.integers(0, 3),   # which of 4 indices (PCs)
+    st.integers(0, 2),   # which of 3 values
+)
+
+
+@given(events=st.lists(_vps_event, min_size=1, max_size=60),
+       confidence=st.integers(1, 5))
+@settings(max_examples=80, deadline=None)
+def test_lvp_matches_abstract_model(events, confidence):
+    concrete = LastValuePredictor(
+        confidence_threshold=confidence, capacity=64
+    )
+    abstract = _AbstractVps(confidence)
+    pcs = [0x1000, 0x1004, 0x1008, 0x100C]
+    values = [11, 22, 33]
+
+    for index_choice, value_choice in events:
+        key = AccessKey(pc=pcs[index_choice], addr=0x40)
+        value = values[value_choice]
+        # Compare the *prediction decision* before each training access.
+        concrete_prediction = concrete.predict(key)
+        abstract_outcome = abstract.trigger(pcs[index_choice], value)
+        if concrete_prediction is None:
+            assert abstract_outcome.value == "no-prediction"
+        elif concrete_prediction.value == value:
+            assert abstract_outcome.value == "correct"
+        else:
+            assert abstract_outcome.value == "mispredict"
+        # Then train both on the observed value.
+        concrete.train(key, value, concrete_prediction)
+        abstract.access(pcs[index_choice], value, 1)

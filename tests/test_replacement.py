@@ -1,0 +1,83 @@
+"""Unit tests for cache replacement policies."""
+
+import random
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestLru:
+    def test_prefers_invalid_ways(self):
+        policy = LruPolicy(4)
+        assert policy.victim([True, False, True, True]) == 1
+
+    def test_evicts_least_recent(self):
+        policy = LruPolicy(2)
+        policy.on_access(0)
+        policy.on_access(1)
+        policy.on_access(0)
+        assert policy.victim([True, True]) == 1
+
+    def test_access_refreshes_recency(self):
+        policy = LruPolicy(3)
+        for way in (0, 1, 2, 0):
+            policy.on_access(way)
+        assert policy.victim([True] * 3) == 1
+
+
+class TestFifo:
+    def test_evicts_oldest_insertion(self):
+        policy = FifoPolicy(2)
+        policy.on_access(0)
+        policy.on_access(1)
+        policy.on_access(0)  # hit; must NOT refresh FIFO order
+        assert policy.victim([True, True]) == 0
+
+    def test_invalidate_resets_way(self):
+        policy = FifoPolicy(2)
+        policy.on_access(0)
+        policy.on_access(1)
+        policy.on_invalidate(0)
+        assert policy.victim([False, True]) == 0
+
+
+class TestRandom:
+    def test_prefers_invalid(self):
+        policy = RandomPolicy(4, rng=random.Random(0))
+        assert policy.victim([True, True, False, True]) == 2
+
+    def test_seeded_determinism(self):
+        first = RandomPolicy(8, rng=random.Random(7))
+        second = RandomPolicy(8, rng=random.Random(7))
+        picks_a = [first.victim([True] * 8) for _ in range(10)]
+        picks_b = [second.victim([True] * 8) for _ in range(10)]
+        assert picks_a == picks_b
+
+    def test_victims_in_range(self):
+        policy = RandomPolicy(4, rng=random.Random(1))
+        for _ in range(50):
+            assert 0 <= policy.victim([True] * 4) < 4
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("lru", LruPolicy), ("fifo", FifoPolicy), ("random", RandomPolicy),
+        ("LRU", LruPolicy),
+    ])
+    def test_make_policy(self, name, cls):
+        assert isinstance(make_policy(name, 4), cls)
+
+    def test_unknown_policy(self):
+        with pytest.raises(MemoryError_):
+            make_policy("plru", 4)
+
+    def test_zero_ways_rejected(self):
+        with pytest.raises(MemoryError_):
+            LruPolicy(0)

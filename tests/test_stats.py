@@ -1,0 +1,197 @@
+"""Unit tests for the statistics package."""
+
+import math
+import random
+
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.errors import StatsError
+from repro.stats.bandwidth import (
+    cycles_to_seconds,
+    success_rate,
+    transmission_rate_bps,
+    transmission_rate_kbps,
+)
+from repro.stats.ci import mean_confidence_interval
+from repro.stats.distributions import (
+    TimingDistribution,
+    frequency_histogram,
+    histogram,
+)
+from repro.stats.summary import DistributionComparison
+from repro.stats.ttest import student_t_test, welch_t_test
+
+
+class TestTTests:
+    def test_identical_samples_not_distinguishable(self):
+        sample = [10.0, 11.0, 9.0, 10.5, 10.2]
+        result = student_t_test(sample, list(sample))
+        assert result.pvalue == pytest.approx(1.0)
+        assert not result.distinguishable
+
+    def test_separated_samples_distinguishable(self):
+        rng = random.Random(1)
+        a = [100 + rng.gauss(0, 5) for _ in range(50)]
+        b = [150 + rng.gauss(0, 5) for _ in range(50)]
+        result = student_t_test(a, b)
+        assert result.pvalue < 1e-6
+        assert result.distinguishable
+
+    def test_matches_scipy_student(self):
+        rng = random.Random(2)
+        a = [rng.gauss(10, 2) for _ in range(30)]
+        b = [rng.gauss(11, 2) for _ in range(25)]
+        ours = student_t_test(a, b)
+        theirs = scipy_stats.ttest_ind(a, b, equal_var=True)
+        assert ours.statistic == pytest.approx(theirs.statistic)
+        assert ours.pvalue == pytest.approx(theirs.pvalue)
+
+    def test_matches_scipy_welch(self):
+        rng = random.Random(3)
+        a = [rng.gauss(10, 1) for _ in range(30)]
+        b = [rng.gauss(11, 6) for _ in range(40)]
+        ours = welch_t_test(a, b)
+        theirs = scipy_stats.ttest_ind(a, b, equal_var=False)
+        assert ours.statistic == pytest.approx(theirs.statistic)
+        assert ours.pvalue == pytest.approx(theirs.pvalue)
+
+    def test_zero_variance_equal_means(self):
+        result = welch_t_test([5.0, 5.0, 5.0], [5.0, 5.0])
+        assert result.pvalue == 1.0
+
+    def test_zero_variance_different_means(self):
+        result = welch_t_test([5.0, 5.0, 5.0], [9.0, 9.0])
+        assert result.pvalue == 0.0
+        assert result.distinguishable
+
+    def test_requires_two_samples_each(self):
+        with pytest.raises(StatsError):
+            student_t_test([1.0], [1.0, 2.0])
+
+
+class TestConfidenceInterval:
+    def test_contains_true_mean_usually(self):
+        rng = random.Random(4)
+        hits = 0
+        for trial in range(100):
+            samples = [rng.gauss(50, 10) for _ in range(40)]
+            ci = mean_confidence_interval(samples, level=0.95)
+            if ci.contains(50):
+                hits += 1
+        assert hits >= 85  # ~95 expected
+
+    def test_zero_variance_degenerate(self):
+        ci = mean_confidence_interval([5.0, 5.0, 5.0])
+        assert ci.lower == ci.upper == 5.0
+
+    def test_half_width_shrinks_with_samples(self):
+        rng = random.Random(5)
+        small = mean_confidence_interval([rng.gauss(0, 1) for _ in range(10)])
+        large = mean_confidence_interval([rng.gauss(0, 1) for _ in range(1000)])
+        assert large.half_width < small.half_width
+
+    def test_overlap(self):
+        a = mean_confidence_interval([1.0, 2.0, 3.0])
+        b = mean_confidence_interval([2.0, 3.0, 4.0])
+        assert a.overlaps(b)
+
+    def test_validation(self):
+        with pytest.raises(StatsError):
+            mean_confidence_interval([1.0])
+        with pytest.raises(StatsError):
+            mean_confidence_interval([1.0, 2.0], level=1.5)
+
+
+class TestDistributions:
+    def test_mean_std(self):
+        dist = TimingDistribution("x", [1.0, 2.0, 3.0])
+        assert dist.mean == 2.0
+        assert dist.std == pytest.approx(1.0)
+
+    def test_percentiles(self):
+        dist = TimingDistribution("x", list(map(float, range(101))))
+        assert dist.percentile(50) == pytest.approx(50.0)
+        assert dist.percentile(0) == 0.0
+        assert dist.percentile(100) == 100.0
+
+    def test_empty_distribution_raises(self):
+        with pytest.raises(StatsError):
+            TimingDistribution("x").mean
+
+    def test_histogram_bins_cover_range(self):
+        bins = histogram([10, 30, 590], bin_width=20, low=0, high=600)
+        assert len(bins) == 30
+        assert sum(count for _, count in bins) == 3
+
+    def test_histogram_clamps_outliers(self):
+        bins = histogram([-50, 1000], bin_width=100, low=0, high=600)
+        assert bins[0][1] == 1
+        assert bins[-1][1] == 1
+
+    def test_frequency_histogram_sums_to_100(self):
+        freq = frequency_histogram([1.0] * 10 + [500.0] * 10)
+        assert sum(pct for _, pct in freq) == pytest.approx(100.0)
+
+    def test_histogram_validation(self):
+        with pytest.raises(StatsError):
+            histogram([1.0], bin_width=0)
+        with pytest.raises(StatsError):
+            histogram([1.0], low=10, high=5)
+
+
+class TestBandwidth:
+    def test_cycles_to_seconds(self):
+        assert cycles_to_seconds(2e9, 2.0) == pytest.approx(1.0)
+
+    def test_transmission_rate(self):
+        # 1 bit per 250k cycles at 2 GHz = 8 Kbps.
+        assert transmission_rate_kbps(1, 250_000, 2.0) == pytest.approx(8.0)
+        assert transmission_rate_bps(1, 250_000, 2.0) == pytest.approx(8000.0)
+
+    def test_success_rate(self):
+        assert success_rate([1, 0, 1, 1], [1, 0, 0, 1]) == 0.75
+
+    def test_success_rate_validation(self):
+        with pytest.raises(StatsError):
+            success_rate([1], [1, 0])
+        with pytest.raises(StatsError):
+            success_rate([], [])
+
+    def test_rate_validation(self):
+        with pytest.raises(StatsError):
+            transmission_rate_bps(1, 0, 2.0)
+        with pytest.raises(StatsError):
+            cycles_to_seconds(100, 0)
+
+
+class TestComparison:
+    def test_compare_runs_welch(self):
+        rng = random.Random(6)
+        mapped = TimingDistribution(
+            "mapped", [300 + rng.gauss(0, 10) for _ in range(50)]
+        )
+        unmapped = TimingDistribution(
+            "unmapped", [250 + rng.gauss(0, 10) for _ in range(50)]
+        )
+        comparison = DistributionComparison.compare(mapped, unmapped)
+        assert comparison.attack_succeeds
+        assert "EFFECTIVE" in comparison.describe()
+
+    def test_indistinguishable_comparison(self):
+        rng = random.Random(7)
+        mapped = TimingDistribution(
+            "mapped", [300 + rng.gauss(0, 10) for _ in range(50)]
+        )
+        unmapped = TimingDistribution(
+            "unmapped", [300 + rng.gauss(0, 10) for _ in range(50)]
+        )
+        comparison = DistributionComparison.compare(mapped, unmapped)
+        assert not comparison.attack_succeeds
+
+    def test_cis_available(self):
+        mapped = TimingDistribution("m", [1.0, 2.0, 3.0])
+        unmapped = TimingDistribution("u", [4.0, 5.0, 6.0])
+        comparison = DistributionComparison.compare(mapped, unmapped)
+        assert comparison.mapped_ci().mean == 2.0
+        assert comparison.unmapped_ci().mean == 5.0

@@ -1,0 +1,78 @@
+"""Unit tests for the TLB model."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory.tlb import Tlb
+
+
+class TestBasics:
+    def test_first_touch_walks(self):
+        tlb = Tlb(entries=4, walk_latency=30)
+        assert tlb.access(1, 0x1000) == 30
+        assert tlb.access(1, 0x1008) == 0  # same page
+
+    def test_different_pages_walk_separately(self):
+        tlb = Tlb(entries=4, walk_latency=30, page_size=4096)
+        tlb.access(1, 0x1000)
+        assert tlb.access(1, 0x2000) == 30
+
+    def test_pids_do_not_share_translations(self):
+        tlb = Tlb(entries=4, walk_latency=30)
+        tlb.access(1, 0x1000)
+        assert tlb.access(2, 0x1000) == 30
+
+    def test_stats(self):
+        tlb = Tlb(entries=4)
+        tlb.access(1, 0x1000)
+        tlb.access(1, 0x1004)
+        assert tlb.stats.misses == 1
+        assert tlb.stats.hits == 1
+        assert tlb.stats.accesses == 2
+
+
+class TestCapacity:
+    def test_lru_eviction(self):
+        tlb = Tlb(entries=2, walk_latency=10)
+        tlb.access(1, 0x1000)
+        tlb.access(1, 0x2000)
+        tlb.access(1, 0x1000)  # refresh page 1
+        tlb.access(1, 0x3000)  # evicts page 2
+        assert tlb.contains(1, 0x1000)
+        assert not tlb.contains(1, 0x2000)
+
+    def test_occupancy_bounded(self):
+        tlb = Tlb(entries=3)
+        for page in range(10):
+            tlb.access(1, page * 4096)
+        assert tlb.occupancy() == 3
+
+
+class TestFlush:
+    def test_flush_all(self):
+        tlb = Tlb(entries=4, walk_latency=5)
+        tlb.access(1, 0x1000)
+        tlb.flush_all()
+        assert tlb.access(1, 0x1000) == 5
+
+    def test_flush_pid_is_selective(self):
+        tlb = Tlb(entries=8, walk_latency=5)
+        tlb.access(1, 0x1000)
+        tlb.access(2, 0x1000)
+        tlb.flush_pid(1)
+        assert not tlb.contains(1, 0x1000)
+        assert tlb.contains(2, 0x1000)
+
+
+class TestValidation:
+    def test_rejects_zero_entries(self):
+        with pytest.raises(MemoryError_):
+            Tlb(entries=0)
+
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(MemoryError_):
+            Tlb(page_size=1000)
+
+    def test_rejects_negative_walk(self):
+        with pytest.raises(MemoryError_):
+            Tlb(walk_latency=-1)

@@ -1,0 +1,147 @@
+"""Integration tests: every attack variant end-to-end on the simulator.
+
+Each test reproduces one Table III cell's *shape* at reduced trial
+counts: with the (non-secure) LVP the mapped/unmapped distributions
+separate; with no value predictor they do not.
+"""
+
+import pytest
+
+from repro.core.attack import AttackConfig, AttackRunner
+from repro.core.channels import ChannelType
+from repro.core.model import AttackCategory
+from repro.core.variants import (
+    ALL_VARIANTS,
+    FillUpAttack,
+    ModifyTestAttack,
+    SpillOverAttack,
+    TestHitAttack,
+    TrainHitAttack,
+    TrainTestAttack,
+    variant_by_name,
+)
+from repro.errors import AttackError
+
+N_RUNS = 40
+SEED = 1
+
+
+def run(variant, channel, predictor, **kw):
+    config = AttackConfig(
+        n_runs=N_RUNS, channel=channel, predictor=predictor, seed=SEED, **kw
+    )
+    return AttackRunner(variant, config).run_experiment()
+
+
+class TestVariantRegistry:
+    def test_six_categories(self):
+        assert len(ALL_VARIANTS) == 6
+        assert {v.category for v in ALL_VARIANTS} == set(AttackCategory)
+
+    def test_lookup_by_name(self):
+        assert variant_by_name("spill over").category is (
+            AttackCategory.SPILL_OVER
+        )
+        with pytest.raises(AttackError):
+            variant_by_name("nonexistent")
+
+    def test_channel_support_matches_table_iii(self):
+        # Table III: persistent columns exist only for Train + Test,
+        # Test + Hit and Fill Up.
+        persistent = {
+            v.category for v in ALL_VARIANTS
+            if ChannelType.PERSISTENT in v.supported_channels
+        }
+        assert persistent == {
+            AttackCategory.TRAIN_TEST,
+            AttackCategory.TEST_HIT,
+            AttackCategory.FILL_UP,
+        }
+
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS, ids=lambda v: v.name)
+class TestTimingWindowShape:
+    def test_lvp_distinguishes(self, variant):
+        result = run(variant, ChannelType.TIMING_WINDOW, "lvp")
+        assert result.attack_succeeds, result.describe()
+
+    def test_no_vp_does_not_distinguish(self, variant):
+        result = run(variant, ChannelType.TIMING_WINDOW, "none")
+        assert not result.attack_succeeds, result.describe()
+
+
+@pytest.mark.parametrize(
+    "variant",
+    [v for v in ALL_VARIANTS if ChannelType.PERSISTENT in v.supported_channels],
+    ids=lambda v: v.name,
+)
+class TestPersistentShape:
+    def test_lvp_distinguishes(self, variant):
+        result = run(variant, ChannelType.PERSISTENT, "lvp")
+        assert result.attack_succeeds, result.describe()
+        # Mapped = cache hit: dramatically faster reloads.
+        assert (
+            result.comparison.mapped.mean
+            < result.comparison.unmapped.mean - 100
+        )
+
+    def test_no_vp_does_not_distinguish(self, variant):
+        result = run(variant, ChannelType.PERSISTENT, "none")
+        assert not result.attack_succeeds, result.describe()
+
+
+class TestDirectionOfEffects:
+    def test_train_test_mapped_is_slower(self):
+        # Mapped = sender modified the entry = misprediction = slow.
+        result = run(TrainTestAttack(), ChannelType.TIMING_WINDOW, "lvp")
+        assert result.comparison.mapped.mean > result.comparison.unmapped.mean
+
+    def test_test_hit_mapped_is_faster(self):
+        # Mapped = trigger data equals trained data = correct = fast.
+        result = run(TestHitAttack(), ChannelType.TIMING_WINDOW, "lvp")
+        assert result.comparison.mapped.mean < result.comparison.unmapped.mean
+
+    def test_spill_over_mapped_is_faster(self):
+        # Mapped = same secrets = correct prediction vs NO prediction.
+        result = run(SpillOverAttack(), ChannelType.TIMING_WINDOW, "lvp")
+        assert result.comparison.mapped.mean < result.comparison.unmapped.mean
+
+    def test_modify_test_mapped_is_slower(self):
+        result = run(ModifyTestAttack(), ChannelType.TIMING_WINDOW, "lvp")
+        assert result.comparison.mapped.mean > result.comparison.unmapped.mean
+
+
+class TestModifyModes:
+    def test_train_test_invalidate_mode_also_works(self):
+        # The 1-access modify flavour: no prediction instead of
+        # misprediction; still distinguishable from correct.
+        result = run(
+            TrainTestAttack(), ChannelType.TIMING_WINDOW, "lvp",
+            modify_mode="invalidate",
+        )
+        assert result.attack_succeeds
+
+    def test_modify_test_invalidate_mode_also_works(self):
+        result = run(
+            ModifyTestAttack(), ChannelType.TIMING_WINDOW, "lvp",
+            modify_mode="invalidate",
+        )
+        assert result.attack_succeeds
+
+
+class TestVtage:
+    def test_train_test_works_on_vtage(self):
+        # Section IV-D3: predictor type does not stop the attacks.
+        result = run(TrainTestAttack(), ChannelType.TIMING_WINDOW, "vtage")
+        assert result.attack_succeeds
+
+    def test_test_hit_works_on_vtage(self):
+        result = run(TestHitAttack(), ChannelType.TIMING_WINDOW, "vtage")
+        assert result.attack_succeeds
+
+
+class TestRates:
+    def test_rates_in_single_digit_kbps_band(self):
+        for variant in (TrainTestAttack(), FillUpAttack(), TrainHitAttack()):
+            result = run(variant, ChannelType.TIMING_WINDOW, "lvp")
+            assert 4.0 < result.transmission_rate_kbps < 15.0

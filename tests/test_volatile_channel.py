@@ -1,0 +1,135 @@
+"""Tests for SMT co-execution and the volatile (port-contention) channel."""
+
+import pytest
+
+from repro.core.attack import AttackConfig, AttackRunner
+from repro.core.channels import ChannelType
+from repro.core.variants import FillUpAttack, TestHitAttack, TrainTestAttack
+from repro.errors import SimulationError
+from repro.isa.builder import ProgramBuilder
+from repro.memory.hierarchy import MemorySystem
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import Core
+from repro.vp.nopred import NoPredictor
+from repro.workloads import gadgets
+
+from tests.conftest import deterministic_memory_config
+
+
+def _mul_stream(name, pid, count):
+    builder = ProgramBuilder(name, pid=pid)
+    builder.li(1, 2)
+    builder.fence()
+    builder.rdtsc(9)
+    builder.fence()
+    for index in range(count):
+        builder.mul(8 + (index % 8), 1, imm=3)
+    builder.fence()
+    builder.rdtsc(10)
+    return builder.build()
+
+
+class TestRunConcurrent:
+    def test_requires_programs(self, det_core):
+        with pytest.raises(SimulationError):
+            det_core.run_concurrent([])
+
+    def test_single_program_matches_run(self):
+        program = _mul_stream("solo", 1, 20)
+        first = Core(
+            MemorySystem(deterministic_memory_config()), NoPredictor()
+        ).run(program)
+        second = Core(
+            MemorySystem(deterministic_memory_config()), NoPredictor()
+        ).run_concurrent([program])[0]
+        assert first.rdtsc_delta() == second.rdtsc_delta()
+
+    def test_architectural_isolation(self, det_core):
+        a = ProgramBuilder("a", pid=1).li(1, 11).store(1, imm=0x1000).build()
+        b = ProgramBuilder("b", pid=2).li(1, 22).store(1, imm=0x1000).build()
+        det_core.run_concurrent([a, b])
+        assert det_core.memory.read_value(1, 0x1000) == 11
+        assert det_core.memory.read_value(2, 0x1000) == 22
+
+    def test_mul_port_contention_slows_both_corunners(self, det_core):
+        solo_core = Core(
+            MemorySystem(deterministic_memory_config()), NoPredictor()
+        )
+        solo = solo_core.run(_mul_stream("solo", 1, 60)).rdtsc_delta()
+        contended = det_core.run_concurrent([
+            _mul_stream("a", 1, 60), _mul_stream("b", 2, 60)
+        ])
+        both = [r.rdtsc_delta() for r in contended]
+        # One shared multiplier port with round-robin priority: both
+        # streams slow towards 2x their solo time.
+        for delta in both:
+            assert delta > solo * 1.4
+            assert delta < solo * 2.6
+
+    def test_serial_chains_do_not_saturate_ports(self, det_core):
+        # Two serially-dependent ALU chains issue at most one op per
+        # cycle each; with two ALU ports they co-run without slowdown.
+        def chain_stream(name, pid):
+            builder = ProgramBuilder(name, pid=pid)
+            builder.li(1, 2)
+            builder.fence().rdtsc(9).fence()
+            builder.dependent_chain(40, dst=30, src=1)
+            builder.fence().rdtsc(10)
+            return builder.build()
+
+        solo = Core(
+            MemorySystem(deterministic_memory_config()), NoPredictor()
+        ).run(chain_stream("solo", 1)).rdtsc_delta()
+        contended = det_core.run_concurrent(
+            [chain_stream("a", 1), chain_stream("b", 2)]
+        )
+        for result in contended:
+            assert result.rdtsc_delta() <= solo + 10
+
+    def test_contexts_share_the_vps(self):
+        # A co-runner's loads train the shared predictor.
+        from repro.vp.lvp import LastValuePredictor
+        memory = MemorySystem(deterministic_memory_config())
+        predictor = LastValuePredictor(confidence_threshold=2)
+        core = Core(memory, predictor, CoreConfig())
+        trainer = gadgets.train_program("t", 1, 0x200, 0x1000, 0x5000, 3)
+        idle = gadgets.idle_program("idle", 2, 0x400)
+        core.run_concurrent([trainer, idle])
+        from repro.vp.base import AccessKey
+        assert predictor.confidence_of(
+            AccessKey(pc=0x1000, addr=0x5000, pid=1)
+        ) >= 2
+
+
+class TestVolatileChannelShape:
+    @pytest.mark.parametrize("variant", [
+        TrainTestAttack(), TestHitAttack(), FillUpAttack()
+    ], ids=lambda v: v.name)
+    def test_lvp_distinguishes(self, variant):
+        config = AttackConfig(
+            n_runs=20, channel=ChannelType.VOLATILE, predictor="lvp", seed=2
+        )
+        result = AttackRunner(variant, config).run_experiment()
+        assert result.attack_succeeds, result.describe()
+
+    @pytest.mark.parametrize("variant", [
+        TrainTestAttack(), TestHitAttack(), FillUpAttack()
+    ], ids=lambda v: v.name)
+    def test_no_vp_does_not_distinguish(self, variant):
+        config = AttackConfig(
+            n_runs=20, channel=ChannelType.VOLATILE, predictor="none", seed=2
+        )
+        result = AttackRunner(variant, config).run_experiment()
+        assert not result.attack_succeeds, result.describe()
+
+    def test_extra_burst_direction(self):
+        # Train + Test mapped = misprediction = replayed burst = the
+        # observer's window grows by roughly one burst length.
+        config = AttackConfig(
+            n_runs=10, channel=ChannelType.VOLATILE, predictor="lvp", seed=2
+        )
+        result = AttackRunner(TrainTestAttack(), config).run_experiment()
+        gap = (
+            result.comparison.mapped.mean - result.comparison.unmapped.mean
+        )
+        assert 30 < gap < 100  # about one 64-multiply burst

@@ -1,0 +1,64 @@
+"""Tests for the shared ValuePredictor accounting helpers."""
+
+import pytest
+
+from repro.vp.base import AccessKey, Prediction, PredictorStats
+from repro.vp.lvp import LastValuePredictor
+from repro.vp.nopred import NoPredictor
+
+
+class TestPredictorStats:
+    def test_initial_rates(self):
+        stats = PredictorStats()
+        assert stats.coverage == 0.0
+        assert stats.accuracy == 0.0
+
+    def test_coverage(self):
+        stats = PredictorStats(lookups=10, predictions=4, no_predictions=6)
+        assert stats.coverage == pytest.approx(0.4)
+
+    def test_accuracy(self):
+        stats = PredictorStats(correct=3, incorrect=1)
+        assert stats.accuracy == pytest.approx(0.75)
+
+    def test_reset(self):
+        stats = PredictorStats(lookups=5, trains=5, correct=2)
+        stats.reset()
+        assert stats.lookups == 0
+        assert stats.correct == 0
+
+
+class TestSharedAccounting:
+    def test_train_credits_correct_prediction(self):
+        predictor = NoPredictor()
+        prediction = Prediction(value=7, confidence=4)
+        predictor.train(AccessKey(pc=0, addr=0), 7, prediction)
+        assert predictor.stats.correct == 1
+        assert predictor.stats.incorrect == 0
+
+    def test_train_charges_incorrect_prediction(self):
+        predictor = NoPredictor()
+        prediction = Prediction(value=7, confidence=4)
+        predictor.train(AccessKey(pc=0, addr=0), 8, prediction)
+        assert predictor.stats.incorrect == 1
+
+    def test_train_without_prediction_counts_only_train(self):
+        predictor = NoPredictor()
+        predictor.train(AccessKey(pc=0, addr=0), 8, None)
+        assert predictor.stats.trains == 1
+        assert predictor.stats.correct == 0
+        assert predictor.stats.incorrect == 0
+
+    def test_prediction_is_frozen(self):
+        prediction = Prediction(value=1, confidence=2)
+        with pytest.raises(Exception):
+            prediction.value = 5
+
+    def test_coverage_tracks_mixed_lookups(self):
+        predictor = LastValuePredictor(confidence_threshold=1)
+        key = AccessKey(pc=0x10, addr=0)
+        predictor.predict(key)          # no prediction yet
+        predictor.train(key, 5)
+        predictor.predict(key)          # now predicts
+        assert predictor.stats.lookups == 2
+        assert predictor.stats.coverage == pytest.approx(0.5)

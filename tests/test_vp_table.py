@@ -1,0 +1,127 @@
+"""Unit tests for the VPS table (Figure 1's entry semantics)."""
+
+import pytest
+
+from repro.errors import PredictorError
+from repro.vp.table import VpTable, VptEntry
+
+
+class TestEntryObserve:
+    def test_fresh_entry_starts_at_confidence_one(self):
+        entry = VptEntry(index=1, value=42)
+        assert entry.confidence == 1
+        assert entry.usefulness == 1
+
+    def test_match_increments(self):
+        entry = VptEntry(index=1, value=42)
+        assert entry.observe(42)
+        assert entry.confidence == 2
+        assert entry.usefulness == 2
+
+    def test_mismatch_installs_and_resets(self):
+        # The state Figure 3 shows after a 1-access modify step:
+        # new value, confidence 0.
+        entry = VptEntry(index=1, value=42, confidence=4)
+        assert not entry.observe(99)
+        assert entry.value == 99
+        assert entry.confidence == 0
+
+    def test_mismatch_decays_usefulness(self):
+        entry = VptEntry(index=1, value=42, usefulness=3)
+        entry.observe(99)
+        assert entry.usefulness == 2
+
+    def test_usefulness_floor_is_zero(self):
+        entry = VptEntry(index=1, value=42, usefulness=0)
+        entry.observe(99)
+        assert entry.usefulness == 0
+
+    def test_confidence_saturates(self):
+        entry = VptEntry(index=1, value=42)
+        for _ in range(100):
+            entry.observe(42, max_confidence=15)
+        assert entry.confidence == 15
+
+    def test_vhist_records_recent_values(self):
+        entry = VptEntry(index=1, value=1)
+        for value in (1, 2, 3, 4, 5):
+            entry.observe(value)
+        assert list(entry.vhist)[-3:] == [3, 4, 5]
+
+    def test_retrain_sequence_reaches_confidence(self):
+        # Re-training a conflicting entry: 1 reset + C matches.
+        entry = VptEntry(index=1, value=42, confidence=4)
+        entry.observe(7)
+        for _ in range(4):
+            entry.observe(7)
+        assert entry.confidence == 4
+        assert entry.value == 7
+
+
+class TestTable:
+    def test_insert_and_get(self):
+        table = VpTable(capacity=4)
+        table.insert(0x40, 7)
+        entry = table.get(0x40)
+        assert entry is not None
+        assert entry.value == 7
+
+    def test_get_missing_returns_none(self):
+        assert VpTable().get(0x99) is None
+
+    def test_duplicate_insert_rejected(self):
+        table = VpTable()
+        table.insert(1, 1)
+        with pytest.raises(PredictorError):
+            table.insert(1, 2)
+
+    def test_capacity_validation(self):
+        with pytest.raises(PredictorError):
+            VpTable(capacity=0)
+
+    def test_eviction_picks_least_useful(self):
+        table = VpTable(capacity=2)
+        table.insert(1, 10)
+        table.insert(2, 20)
+        table.get(2).usefulness = 5
+        table.insert(3, 30)  # evicts index 1 (usefulness 1 < 5)
+        assert table.get(1) is None
+        assert table.get(2) is not None
+        assert table.evictions == 1
+
+    def test_eviction_tie_breaks_by_insertion_order(self):
+        table = VpTable(capacity=2)
+        table.insert(1, 10)
+        table.insert(2, 20)
+        table.insert(3, 30)  # tie on usefulness; 1 is older
+        assert table.get(1) is None
+        assert table.get(2) is not None
+
+    def test_remove(self):
+        table = VpTable()
+        table.insert(1, 1)
+        assert table.remove(1)
+        assert not table.remove(1)
+
+    def test_clear_preserves_eviction_count(self):
+        table = VpTable(capacity=1)
+        table.insert(1, 1)
+        table.insert(2, 2)
+        assert table.evictions == 1
+        table.clear()
+        assert len(table) == 0
+        assert table.evictions == 1
+
+    def test_snapshot_sorted(self):
+        table = VpTable()
+        table.insert(5, 50)
+        table.insert(1, 10)
+        snapshot = table.snapshot()
+        assert snapshot[0][0] == 1
+        assert snapshot[1][0] == 5
+
+    def test_contains_and_iter(self):
+        table = VpTable()
+        table.insert(1, 1)
+        assert 1 in table
+        assert len(list(table)) == 1
