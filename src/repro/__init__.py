@@ -13,10 +13,31 @@ The package implements, from scratch in Python:
 * the A-type / D-type / R-type defenses (:mod:`repro.defenses`);
 * the libgcrypt-style RSA victim (:mod:`repro.crypto`);
 * statistics used by the paper's evaluation (:mod:`repro.stats`) and
-  the experiment harness regenerating every table and figure
-  (:mod:`repro.harness`).
+  the experiment harness regenerating every table and figure, with a
+  fault-tolerant execution layer (retry, cycle budgets, checkpoint/
+  resume, deterministic fault injection) (:mod:`repro.harness`).
 """
 
 from repro._version import __version__
+from repro.errors import (
+    BudgetExceededError,
+    FaultInjectionError,
+    HarnessError,
+    InjectedCrashError,
+    MemorySystemError,
+    ReproError,
+    SimulationError,
+    StatsError,
+)
 
-__all__ = ["__version__"]
+__all__ = [
+    "BudgetExceededError",
+    "FaultInjectionError",
+    "HarnessError",
+    "InjectedCrashError",
+    "MemorySystemError",
+    "ReproError",
+    "SimulationError",
+    "StatsError",
+    "__version__",
+]

@@ -87,17 +87,50 @@ def _cmd_fig2(args: argparse.Namespace) -> None:
 
 def _cmd_attack(args: argparse.Namespace) -> None:
     variant = variant_by_name(args.variant)
-    config = AttackConfig(
-        n_runs=args.runs,
-        channel=ChannelType(args.channel),
-        predictor=args.predictor,
-        confidence=args.confidence,
-        seed=args.seed,
-        defense=parse_defense(args.defense),
-        use_oracle=args.oracle,
-        modify_mode=args.modify_mode,
-    )
-    result = AttackRunner(variant, config).run_experiment()
+    if args.fault_profile or args.max_retries is not None:
+        # Route through the resilient executor: retries, adaptive
+        # re-measurement and (optional) fault injection.
+        from repro.harness.faults import FaultInjector, fault_profile
+        from repro.harness.runner import ExecutionPolicy, ResilientExecutor
+
+        executor = ResilientExecutor(
+            ExecutionPolicy.robust(
+                max_retries=(
+                    args.max_retries if args.max_retries is not None else 2
+                )
+            ),
+            injector=(
+                FaultInjector(fault_profile(args.fault_profile),
+                              seed=args.seed)
+                if args.fault_profile else None
+            ),
+        )
+        cell = executor.run_cell_supervised(
+            f"attack/{args.variant}", variant, ChannelType(args.channel),
+            args.predictor, args.runs, args.seed,
+            confidence=args.confidence,
+            defense=parse_defense(args.defense),
+            use_oracle=args.oracle,
+            modify_mode=args.modify_mode,
+        )
+        print(f"execution: {cell.classification.value} "
+              f"({len(cell.attempts)} attempt(s)"
+              f"{', ' + cell.note if cell.note else ''})")
+        if cell.result is None:
+            raise ReproError(f"cell failed permanently: {cell.note}")
+        result = cell.result
+    else:
+        config = AttackConfig(
+            n_runs=args.runs,
+            channel=ChannelType(args.channel),
+            predictor=args.predictor,
+            confidence=args.confidence,
+            seed=args.seed,
+            defense=parse_defense(args.defense),
+            use_oracle=args.oracle,
+            modify_mode=args.modify_mode,
+        )
+        result = AttackRunner(variant, config).run_experiment()
     print(result.describe())
     print(f"  mapped   mean: {result.comparison.mapped.mean:8.1f} cycles "
           f"(n={len(result.comparison.mapped)})")
@@ -148,7 +181,9 @@ def _cmd_all(args: argparse.Namespace) -> None:
         if args.artifacts else None
     )
     written = run_all(
-        args.out, n_runs=args.runs, seed=args.seed, artifacts=artifacts
+        args.out, n_runs=args.runs, seed=args.seed, artifacts=artifacts,
+        resume=args.resume, max_retries=args.max_retries,
+        fault_profile_name=args.fault_profile,
     )
     for name, path in sorted(written.items()):
         print(f"{name}: {path}")
@@ -220,6 +255,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="predict only for the trigger PC")
     attack.add_argument("--modify-mode", default="retrain",
                         choices=["retrain", "invalidate"])
+    attack.add_argument("--max-retries", type=int, default=None,
+                        help="supervise the cell: retries per cell")
+    attack.add_argument("--fault-profile", default=None,
+                        help="inject faults, e.g. crash, dram-noise, chaos")
     attack.set_defaults(func=_cmd_attack)
 
     for name, fn, help_text in (
@@ -259,6 +298,16 @@ def build_parser() -> argparse.ArgumentParser:
     everything.add_argument(
         "--artifacts", default=None,
         help="comma-separated subset of table1,table2,fig5,fig7,fig8,table3",
+    )
+    everything.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted run from <out>/checkpoint",
+    )
+    everything.add_argument("--max-retries", type=int, default=2,
+                            help="per-cell retries before giving up")
+    everything.add_argument(
+        "--fault-profile", default=None,
+        help="inject faults (robustness testing), e.g. crash, chaos",
     )
     everything.set_defaults(func=_cmd_all)
     return parser

@@ -94,6 +94,11 @@ class AttackConfig:
             Figure 4 lines 18-24; the experiment itself only needs the
             target line's latency).
         seed: Base seed; each trial derives its own.
+        max_trial_cycles: Per-trial cycle watchdog; when set it
+            overrides the core's ``max_cycles`` safety bound, so a
+            runaway simulation aborts with
+            :class:`~repro.errors.SimulationError` instead of burning
+            the sweep's budget.
     """
 
     confidence: int = 4
@@ -108,6 +113,7 @@ class AttackConfig:
     sync_phase_cycles: int = 25_000
     decode_cycles_per_line: int = 120
     seed: int = 0
+    max_trial_cycles: Optional[int] = None
     memory_config: Optional[MemoryConfig] = None
     core_config: Optional[CoreConfig] = None
     layout: Layout = field(default_factory=Layout)
@@ -119,6 +125,8 @@ class AttackConfig:
             raise AttackError("n_runs must be >= 2 for the t-test")
         if self.modify_mode not in ("retrain", "invalidate"):
             raise AttackError(f"unknown modify_mode {self.modify_mode!r}")
+        if self.max_trial_cycles is not None and self.max_trial_cycles < 1:
+            raise AttackError("max_trial_cycles must be >= 1")
 
 
 @dataclass
@@ -222,6 +230,10 @@ class AttackRunner:
         if config.defense is not None:
             predictor = config.defense.wrap_predictor(predictor)
             core_config = config.defense.adjust_config(core_config)
+        if config.max_trial_cycles is not None:
+            core_config = replace(
+                core_config, max_cycles=config.max_trial_cycles
+            )
         if config.use_oracle:
             predictor = OracleTargetPredictor(
                 predictor, self.variant.trigger_pcs(config.layout)

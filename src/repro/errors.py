@@ -6,6 +6,8 @@ so callers can catch package-level failures with a single handler.
 
 from __future__ import annotations
 
+import warnings
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
@@ -19,12 +21,8 @@ class AssemblyError(IsaError):
     """Raised when textual assembly cannot be parsed."""
 
 
-class MemoryError_(ReproError):
-    """Raised for invalid memory-system configuration or access.
-
-    Named with a trailing underscore to avoid shadowing the builtin
-    :class:`MemoryError`.
-    """
+class MemorySystemError(ReproError):
+    """Raised for invalid memory-system configuration or access."""
 
 
 class PredictorError(ReproError):
@@ -37,6 +35,17 @@ class PipelineError(ReproError):
 
 class SimulationError(ReproError):
     """Raised when a simulation cannot make forward progress."""
+
+
+class BudgetExceededError(SimulationError):
+    """Raised when an experiment cell exhausts its cycle budget.
+
+    The resilient executor's watchdog raises this when the simulated
+    cycles spent on one cell (across retries and re-measurements)
+    exceed the configured budget; it is the simulation-time analogue
+    of a wall-clock :class:`TimeoutError` and is deliberately *not*
+    retried — the budget is already gone.
+    """
 
 
 class AttackError(ReproError):
@@ -57,3 +66,30 @@ class CryptoError(ReproError):
 
 class HarnessError(ReproError):
     """Raised for invalid experiment configurations."""
+
+
+class FaultInjectionError(ReproError):
+    """Raised for invalid fault profiles or by injected faults."""
+
+
+class InjectedCrashError(FaultInjectionError):
+    """A deterministic, injector-simulated executor crash.
+
+    Raised by :class:`repro.harness.faults.FaultInjector` to exercise
+    the retry and checkpoint-resume paths; never raised by real code.
+    """
+
+
+def __getattr__(name: str):
+    # Deprecated alias kept for backward compatibility: the class used
+    # to be named with a trailing underscore to avoid shadowing the
+    # builtin MemoryError.
+    if name == "MemoryError_":
+        warnings.warn(
+            "repro.errors.MemoryError_ is deprecated; "
+            "use repro.errors.MemorySystemError",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return MemorySystemError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -13,17 +13,14 @@ from repro.core.attack import AttackConfig, AttackRunner, ExperimentResult
 from repro.core.channels import ChannelType
 from repro.core.model import AttackCategory
 from repro.core.variants import (
-    ALL_VARIANTS,
     AttackVariant,
     TestHitAttack,
     TrainTestAttack,
 )
-from repro.crypto.leak import RsaAttackConfig, RsaAttackResult, RsaVpAttack
-from repro.crypto.mpi import Mpi
+from repro.crypto.leak import RsaAttackResult
 from repro.defenses.base import Defense
 from repro.defenses.random_window import RandomWindowDefense
 from repro.errors import HarnessError
-from repro.memory.hierarchy import MemoryConfig
 from repro.memory.memsys import DramConfig
 from repro.stats.ttest import ALPHA
 
@@ -60,8 +57,22 @@ def run_cell(
     return AttackRunner(variant, config).run_experiment()
 
 
+def _default_executor(executor):
+    """The behaviour-preserving supervised executor used by drivers.
+
+    Every driver below runs its cells through the resilient execution
+    layer; the default :meth:`ExecutionPolicy.compat` policy only
+    intervenes on errors, so results are identical to the historical
+    fire-and-forget harness unless something actually fails.
+    """
+    if executor is not None:
+        return executor
+    from repro.harness.runner import ResilientExecutor
+    return ResilientExecutor()
+
+
 def figure5_panels(
-    n_runs: int = 100, seed: int = 0
+    n_runs: int = 100, seed: int = 0, executor=None,
 ) -> List[Tuple[str, ExperimentResult]]:
     """Figure 5: Train + Test with/without a VP, both channels.
 
@@ -69,70 +80,51 @@ def figure5_panels(
     no-VP, persistent LVP.  Expected shape: the no-VP p-values are
     above 0.05 and the LVP ones below.
     """
-    variant = TrainTestAttack()
-    return [
-        ("(1) Timing-Window Channel (no VP)",
-         run_cell(variant, ChannelType.TIMING_WINDOW, "none", n_runs, seed)),
-        ("(2) Timing-Window Channel (LVP)",
-         run_cell(variant, ChannelType.TIMING_WINDOW, "lvp", n_runs, seed)),
-        ("(3) Persistent Channel (no VP)",
-         run_cell(variant, ChannelType.PERSISTENT, "none", n_runs, seed)),
-        ("(4) Persistent Channel (LVP)",
-         run_cell(variant, ChannelType.PERSISTENT, "lvp", n_runs, seed)),
-    ]
+    from repro.harness.runner import figure_panels_supervised, plain_panels
+
+    return plain_panels(figure_panels_supervised(
+        _default_executor(executor), TrainTestAttack(), "fig5",
+        n_runs, seed,
+    ))
 
 
 def figure8_panels(
-    n_runs: int = 100, seed: int = 0
+    n_runs: int = 100, seed: int = 0, executor=None,
 ) -> List[Tuple[str, ExperimentResult]]:
     """Figure 8: Test + Hit, same four panels as Figure 5."""
-    variant = TestHitAttack()
-    return [
-        ("(1) Timing-Window Channel (no VP)",
-         run_cell(variant, ChannelType.TIMING_WINDOW, "none", n_runs, seed)),
-        ("(2) Timing-Window Channel (LVP)",
-         run_cell(variant, ChannelType.TIMING_WINDOW, "lvp", n_runs, seed)),
-        ("(3) Persistent Channel (no VP)",
-         run_cell(variant, ChannelType.PERSISTENT, "none", n_runs, seed)),
-        ("(4) Persistent Channel (LVP)",
-         run_cell(variant, ChannelType.PERSISTENT, "lvp", n_runs, seed)),
-    ]
+    from repro.harness.runner import figure_panels_supervised, plain_panels
+
+    return plain_panels(figure_panels_supervised(
+        _default_executor(executor), TestHitAttack(), "fig8",
+        n_runs, seed,
+    ))
 
 
 def table3_results(
-    n_runs: int = 100, seed: int = 0, predictor: str = "lvp"
+    n_runs: int = 100, seed: int = 0, predictor: str = "lvp",
+    executor=None,
 ) -> Dict[AttackCategory, Dict[str, Optional[ExperimentResult]]]:
     """Table III: every category x channel x {no VP, VP} cell."""
-    results: Dict[AttackCategory, Dict[str, Optional[ExperimentResult]]] = {}
-    for variant in ALL_VARIANTS:
-        cells: Dict[str, Optional[ExperimentResult]] = {
-            "tw_novp": None, "tw_vp": None, "pc_novp": None, "pc_vp": None,
-        }
-        cells["tw_novp"] = run_cell(
-            variant, ChannelType.TIMING_WINDOW, "none", n_runs, seed
-        )
-        cells["tw_vp"] = run_cell(
-            variant, ChannelType.TIMING_WINDOW, predictor, n_runs, seed
-        )
-        if ChannelType.PERSISTENT in variant.supported_channels:
-            cells["pc_novp"] = run_cell(
-                variant, ChannelType.PERSISTENT, "none", n_runs, seed
-            )
-            cells["pc_vp"] = run_cell(
-                variant, ChannelType.PERSISTENT, predictor, n_runs, seed
-            )
-        results[variant.category] = cells
-    return results
+    from repro.harness.runner import plain_results, table3_supervised
+
+    return plain_results(table3_supervised(
+        _default_executor(executor), n_runs, seed, predictor
+    ))
 
 
-def figure7_result(seed: int = 7, exponent: int = FIGURE7_EXPONENT
-                   ) -> RsaAttackResult:
+def figure7_result(seed: int = 7, exponent: int = FIGURE7_EXPONENT,
+                   executor=None) -> RsaAttackResult:
     """Figure 7: the per-iteration RSA exponent leak."""
-    config = RsaAttackConfig(
-        seed=seed,
-        memory_config=MemoryConfig(dram=RSA_DRAM),
+    from repro.harness.runner import figure7_supervised
+
+    cell = figure7_supervised(
+        _default_executor(executor), seed=seed, exponent=exponent
     )
-    return RsaVpAttack(config).run(Mpi.from_int(exponent))
+    if cell.result is None:
+        raise HarnessError(
+            f"Figure 7 cell failed permanently: {cell.note or 'no result'}"
+        )
+    return cell.result
 
 
 def window_sweep(

@@ -1,35 +1,78 @@
-"""Persist reproduction artifacts to disk.
+"""Persist reproduction artifacts to disk, fault-tolerantly.
 
 ``run_all`` regenerates the paper's core artifacts and writes, per
 artifact, both a machine-readable JSON record and the human-readable
 rendering the benches print.  This gives a reproduction run a durable
 trail: what was measured, with which configuration, against which
 paper values.
+
+Robustness guarantees:
+
+* every file write is **atomic** (write ``*.tmp`` + ``os.replace``) —
+  a crash never leaves a truncated or corrupt record;
+* every experiment cell runs under the **resilient executor**
+  (:mod:`repro.harness.runner`): per-cell retry with reseeding,
+  adaptive re-measurement around the significance threshold, and a
+  failure classification (clean / retried / degraded / failed)
+  attached to every artifact record;
+* completed cells are **journaled** to ``<out_dir>/checkpoint`` so an
+  interrupted sweep resumes from the last completed cell
+  (``resume=True`` / ``--resume``) with byte-identical records.
 """
 
 from __future__ import annotations
 
-import json
 import os
 from typing import Dict, List, Optional
 
 from repro._version import __version__
 from repro.core.attack import ExperimentResult
 from repro.core.model import verdict_summary
+from repro.core.variants import TestHitAttack, TrainTestAttack
 from repro.crypto.leak import RsaAttackResult
 from repro.errors import HarnessError
-from repro.harness.experiment import (
-    figure5_panels,
-    figure7_result,
-    figure8_panels,
-    table3_results,
+from repro.harness.checkpoint import (
+    CheckpointStore,
+    atomic_write_json,
+    atomic_write_text,
 )
+from repro.harness.faults import FaultInjector, fault_profile
 from repro.harness.report import figure7_report, figure_report, table3_report
+from repro.harness.runner import (
+    AdaptivePolicy,
+    ExecutionPolicy,
+    ResilientExecutor,
+    RetryPolicy,
+    SupervisedCell,
+    figure7_supervised,
+    figure_panels_supervised,
+    plain_panels,
+    plain_results,
+    table3_supervised,
+)
 from repro.harness.tables import render_table1, render_table2
 
+#: Execution record attached to records built outside the executor.
+_UNSUPERVISED = {
+    "classification": "clean",
+    "attempts": [],
+    "escalations": 0,
+    "final_seed": None,
+    "final_n_runs": None,
+    "note": "unsupervised run",
+}
 
-def experiment_record(result: ExperimentResult) -> Dict[str, object]:
-    """A JSON-serialisable record of one experiment cell."""
+
+def experiment_record(
+    result: ExperimentResult,
+    execution: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """A JSON-serialisable record of one experiment cell.
+
+    Every record carries an ``execution`` failure-classification field;
+    supervised runs pass the cell's
+    :meth:`~repro.harness.runner.SupervisedCell.execution_record`.
+    """
     return {
         "variant": result.variant_name,
         "category": result.category.value,
@@ -43,10 +86,15 @@ def experiment_record(result: ExperimentResult) -> Dict[str, object]:
         "mapped_samples": len(result.comparison.mapped),
         "transmission_rate_kbps": float(result.transmission_rate_kbps),
         "mean_trial_cycles": float(result.mean_trial_cycles),
+        "execution": dict(execution if execution is not None
+                          else _UNSUPERVISED),
     }
 
 
-def rsa_record(result: RsaAttackResult) -> Dict[str, object]:
+def rsa_record(
+    result: RsaAttackResult,
+    execution: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
     """A JSON-serialisable record of the Figure 7 run."""
     return {
         "bits": len(result.true_bits),
@@ -56,32 +104,32 @@ def rsa_record(result: RsaAttackResult) -> Dict[str, object]:
         "decoded_bits": list(result.decoded_bits),
         "true_bits": list(result.true_bits),
         "observations": [float(value) for value in result.observations],
+        "execution": dict(execution if execution is not None
+                          else _UNSUPERVISED),
     }
 
 
+def cell_record(cell: Optional[SupervisedCell]) -> Optional[Dict[str, object]]:
+    """Artifact record for one supervised cell (``None`` for no-cell)."""
+    if cell is None:
+        return None
+    if cell.result is None:
+        return {"execution": cell.execution_record()}
+    return experiment_record(cell.result, cell.execution_record())
+
+
 def save_json(path: str, payload: object) -> None:
-    """Write ``payload`` as pretty-printed JSON.
+    """Write ``payload`` as pretty-printed JSON, atomically.
 
     Raises:
         HarnessError: If the parent directory does not exist.
     """
-    directory = os.path.dirname(path) or "."
-    if not os.path.isdir(directory):
-        raise HarnessError(f"output directory {directory!r} does not exist")
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_json(path, payload)
 
 
 def save_text(path: str, text: str) -> None:
-    """Write a rendered artifact."""
-    directory = os.path.dirname(path) or "."
-    if not os.path.isdir(directory):
-        raise HarnessError(f"output directory {directory!r} does not exist")
-    with open(path, "w") as handle:
-        handle.write(text)
-        if not text.endswith("\n"):
-            handle.write("\n")
+    """Write a rendered artifact, atomically."""
+    atomic_write_text(path, text)
 
 
 def run_all(
@@ -89,8 +137,14 @@ def run_all(
     n_runs: int = 100,
     seed: int = 0,
     artifacts: Optional[List[str]] = None,
+    *,
+    resume: bool = False,
+    max_retries: int = 2,
+    fault_profile_name: Optional[str] = None,
+    policy: Optional[ExecutionPolicy] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> Dict[str, str]:
-    """Regenerate and persist the selected artifacts.
+    """Regenerate and persist the selected artifacts, resumably.
 
     Args:
         out_dir: Existing directory to write into.
@@ -98,12 +152,21 @@ def run_all(
         seed: Base seed.
         artifacts: Subset of {"table1", "table2", "fig5", "fig7",
             "fig8", "table3"}; all of them when omitted.
+        resume: Reuse cells journaled under the checkpoint directory
+            by a previous (interrupted) run with the same parameters.
+        max_retries: Per-cell retries of the default policy.
+        fault_profile_name: Optional fault profile to inject (mainly
+            for robustness testing of the harness itself).
+        policy: Full execution policy; overrides ``max_retries``.
+        checkpoint_dir: Journal location; default
+            ``<out_dir>/checkpoint``.
 
     Returns:
         Mapping from artifact name to the path of its rendering.
 
     Raises:
-        HarnessError: For unknown artifact names or a missing out_dir.
+        HarnessError: For unknown artifact names, a missing out_dir,
+            or a resume against an incompatible checkpoint.
     """
     if not os.path.isdir(out_dir):
         raise HarnessError(f"output directory {out_dir!r} does not exist")
@@ -115,6 +178,28 @@ def run_all(
 
     written: Dict[str, str] = {}
     meta = {"version": __version__, "n_runs": n_runs, "seed": seed}
+    supervised_chosen = [
+        name for name in chosen if name in ("fig5", "fig7", "fig8", "table3")
+    ]
+    executor: Optional[ResilientExecutor] = None
+    processed: List[SupervisedCell] = []
+    if supervised_chosen:
+        store = CheckpointStore.open(
+            checkpoint_dir or os.path.join(out_dir, "checkpoint"),
+            meta, resume=resume,
+        )
+        injector = (
+            FaultInjector(fault_profile(fault_profile_name), seed=seed)
+            if fault_profile_name else None
+        )
+        executor = ResilientExecutor(
+            policy or ExecutionPolicy(
+                retry=RetryPolicy(max_retries=max_retries),
+                adaptive=AdaptivePolicy(),
+            ),
+            injector=injector,
+            store=store,
+        )
 
     if "table1" in chosen:
         path = os.path.join(out_dir, "table1.txt")
@@ -132,56 +217,82 @@ def run_all(
         )
         written["table2"] = path
     if "fig5" in chosen:
-        panels = figure5_panels(n_runs=n_runs, seed=seed)
+        panels = figure_panels_supervised(
+            executor, TrainTestAttack(), "fig5", n_runs=n_runs, seed=seed
+        )
+        processed.extend(cell for _, cell in panels)
         path = os.path.join(out_dir, "fig5.txt")
         save_text(path, figure_report(
-            "Figure 5: Train + Test attacks", panels,
+            "Figure 5: Train + Test attacks", plain_panels(panels),
             mapped_label="mapped index", unmapped_label="unmapped index",
         ))
         save_json(
             os.path.join(out_dir, "fig5.json"),
             {**meta, "panels": {
-                title: experiment_record(result)
-                for title, result in panels
+                title: cell_record(cell) for title, cell in panels
             }},
         )
         written["fig5"] = path
     if "fig8" in chosen:
-        panels = figure8_panels(n_runs=n_runs, seed=seed)
+        panels = figure_panels_supervised(
+            executor, TestHitAttack(), "fig8", n_runs=n_runs, seed=seed
+        )
+        processed.extend(cell for _, cell in panels)
         path = os.path.join(out_dir, "fig8.txt")
         save_text(path, figure_report(
-            "Figure 8: Test + Hit attacks", panels,
+            "Figure 8: Test + Hit attacks", plain_panels(panels),
             mapped_label="mapped data", unmapped_label="unmapped data",
         ))
         save_json(
             os.path.join(out_dir, "fig8.json"),
             {**meta, "panels": {
-                title: experiment_record(result)
-                for title, result in panels
+                title: cell_record(cell) for title, cell in panels
             }},
         )
         written["fig8"] = path
     if "fig7" in chosen:
-        result = figure7_result()
+        cell = figure7_supervised(executor)
+        processed.append(cell)
         path = os.path.join(out_dir, "fig7.txt")
-        save_text(path, figure7_report(result))
-        save_json(os.path.join(out_dir, "fig7.json"),
-                  {**meta, **rsa_record(result)})
+        if cell.result is not None:
+            save_text(path, figure7_report(cell.result))
+            save_json(
+                os.path.join(out_dir, "fig7.json"),
+                {**meta, **rsa_record(cell.result, cell.execution_record())},
+            )
+        else:
+            save_text(path, "Figure 7: cell failed permanently")
+            save_json(
+                os.path.join(out_dir, "fig7.json"),
+                {**meta, "execution": cell.execution_record()},
+            )
         written["fig7"] = path
     if "table3" in chosen:
-        results = table3_results(n_runs=n_runs, seed=seed)
+        supervised = table3_supervised(executor, n_runs=n_runs, seed=seed)
+        processed.extend(
+            cell for cells in supervised.values()
+            for cell in cells.values() if cell is not None
+        )
         path = os.path.join(out_dir, "table3.txt")
-        save_text(path, table3_report(results))
+        save_text(path, table3_report(plain_results(supervised)))
         save_json(
             os.path.join(out_dir, "table3.json"),
             {**meta, "cells": {
                 category.value: {
-                    cell: (experiment_record(result)
-                           if result is not None else None)
-                    for cell, result in cells.items()
+                    key: cell_record(cell) for key, cell in cells.items()
                 }
-                for category, cells in results.items()
+                for category, cells in supervised.items()
             }},
         )
         written["table3"] = path
+
+    if supervised_chosen:
+        summary: Dict[str, int] = {}
+        for cell in processed:
+            label = cell.classification.value
+            summary[label] = summary.get(label, 0) + 1
+        save_json(
+            os.path.join(out_dir, "run_summary.json"),
+            {**meta, "cells": len(processed), "classifications": summary},
+        )
     return written

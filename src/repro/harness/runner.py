@@ -1,0 +1,703 @@
+"""The resilient execution layer: supervised experiment cells.
+
+The paper's headline artifacts are statistical sweeps — Table III runs
+all twelve attack variants across channels and predictors with
+100-run t-tests — and a single noisy cell, hung simulation or crash
+mid-sweep must not lose the run.  :class:`ResilientExecutor` wraps
+every experiment cell with:
+
+* **retry with reseeding and exponential backoff** — any
+  :class:`~repro.errors.ReproError` raised by a cell (including
+  injected crashes and watchdog aborts) is retried up to
+  ``max_retries`` times, each attempt under a deterministically
+  derived fresh seed;
+* a **cycle-budget watchdog** — a per-trial bound threaded into the
+  core's ``max_cycles`` (runaway simulations abort with
+  :class:`~repro.errors.SimulationError`) plus a per-cell budget over
+  all attempts, exhausted budgets raising
+  :class:`~repro.errors.BudgetExceededError`;
+* **adaptive re-measurement** — when a t-test lands in an
+  inconclusive band around ``ALPHA``, the cell re-runs with an
+  escalated ``n_runs`` instead of reporting a flaky verdict;
+* **checkpoint/resume** — completed cells are journaled atomically to
+  a :class:`~repro.harness.checkpoint.CheckpointStore`, and re-running
+  a sweep over the same store reuses every journaled cell verbatim.
+
+Every cell carries a **failure classification** into its artifact
+record: ``clean`` (first attempt, no intervention), ``retried``
+(recovered after retries or escalation), ``degraded`` (produced a
+result with weakened guarantees) or ``failed`` (no result).
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, field, replace as dc_replace
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.attack import ExperimentResult, make_predictor
+from repro.core.channels import ChannelType
+from repro.core.model import AttackCategory
+from repro.core.variants import ALL_VARIANTS, AttackVariant
+from repro.crypto.leak import RsaAttackConfig, RsaVpAttack
+from repro.crypto.mpi import Mpi
+from repro.errors import (
+    BudgetExceededError,
+    HarnessError,
+    ReproError,
+)
+from repro.harness.checkpoint import (
+    CheckpointStore,
+    deserialize_result,
+    serialize_result,
+)
+from repro.harness.faults import FaultInjector
+from repro.memory.hierarchy import MemoryConfig
+from repro.stats.distributions import TimingDistribution
+from repro.stats.summary import DistributionComparison
+from repro.stats.ttest import ALPHA
+
+
+def reseed(base_seed: int, attempt: int) -> int:
+    """Deterministic per-attempt seed; attempt 0 is the base seed."""
+    if attempt == 0:
+        return base_seed
+    return (base_seed * 1_000_003 + attempt * 7_919_993) % 2_147_483_647
+
+
+class CellClassification(str, Enum):
+    """Failure classification attached to every artifact record."""
+
+    CLEAN = "clean"
+    RETRIED = "retried"
+    DEGRADED = "degraded"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-cell retry behaviour.
+
+    Attributes:
+        max_retries: Retries after the first attempt (0 = fail fast).
+        backoff_base: Seconds slept before the first retry; 0 disables
+            sleeping (the schedule is still recorded).
+        backoff_factor: Multiplier between consecutive retries.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.0
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise HarnessError("max_retries must be >= 0")
+        if self.backoff_base < 0.0:
+            raise HarnessError("backoff_base must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise HarnessError("backoff_factor must be >= 1")
+
+    def backoff_before(self, attempt: int) -> float:
+        """Seconds to wait before ``attempt`` (attempt 0 never waits)."""
+        if attempt == 0 or self.backoff_base == 0.0:
+            return 0.0
+        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class AdaptivePolicy:
+    """Re-measurement escalation around the significance threshold.
+
+    A p-value inside ``[band_low, band_high)`` is *inconclusive*: too
+    close to ``ALPHA`` for the verdict to be trusted at the current
+    sample size.  The executor then escalates ``n_runs`` by
+    ``escalation_factor`` (up to ``max_escalations`` times) instead of
+    reporting a flaky verdict.
+    """
+
+    band_low: float = ALPHA / 2
+    band_high: float = ALPHA * 2
+    escalation_factor: int = 2
+    max_escalations: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.band_low < self.band_high <= 1.0:
+            raise HarnessError(
+                "inconclusive band must satisfy 0 <= low < high <= 1"
+            )
+        if self.escalation_factor < 2:
+            raise HarnessError("escalation_factor must be >= 2")
+        if self.max_escalations < 0:
+            raise HarnessError("max_escalations must be >= 0")
+
+    def inconclusive(self, pvalue: float) -> bool:
+        """True when the verdict should not be trusted yet."""
+        return self.band_low <= pvalue < self.band_high
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Everything the supervised executor enforces per cell.
+
+    Attributes:
+        retry: Retry/backoff behaviour.
+        adaptive: Optional inconclusive-band re-measurement.
+        max_trial_cycles: Per-trial watchdog, threaded into the core's
+            ``max_cycles`` bound.
+        cell_cycle_budget: Simulated-cycle budget per cell summed over
+            attempts; exceeding it raises
+            :class:`~repro.errors.BudgetExceededError`.
+        fail_fast: Re-raise instead of recording a ``failed`` cell.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    adaptive: Optional[AdaptivePolicy] = None
+    max_trial_cycles: Optional[int] = None
+    cell_cycle_budget: Optional[float] = None
+    fail_fast: bool = False
+
+    @classmethod
+    def compat(cls) -> "ExecutionPolicy":
+        """Behaviour-preserving policy: retries only on error.
+
+        Used by the plain :mod:`repro.harness.experiment` drivers so
+        their results stay identical to the pre-supervision harness
+        unless something actually goes wrong.
+        """
+        return cls()
+
+    @classmethod
+    def robust(cls, max_retries: int = 2) -> "ExecutionPolicy":
+        """The full-sweep policy: retries plus adaptive re-measurement."""
+        return cls(
+            retry=RetryPolicy(max_retries=max_retries),
+            adaptive=AdaptivePolicy(),
+        )
+
+
+@dataclass
+class AttemptRecord:
+    """One attempt at one cell."""
+
+    attempt: int
+    seed: int
+    n_runs: Optional[int]
+    backoff_s: float = 0.0
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "attempt": self.attempt,
+            "seed": self.seed,
+            "n_runs": self.n_runs,
+            "backoff_s": self.backoff_s,
+            "error": self.error,
+            "error_type": self.error_type,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "AttemptRecord":
+        return cls(
+            attempt=int(payload["attempt"]),
+            seed=int(payload["seed"]),
+            n_runs=(None if payload.get("n_runs") is None
+                    else int(payload["n_runs"])),
+            backoff_s=float(payload.get("backoff_s", 0.0)),
+            error=payload.get("error"),
+            error_type=payload.get("error_type"),
+        )
+
+
+@dataclass
+class SupervisedCell:
+    """Outcome of one supervised cell: result + execution metadata."""
+
+    cell_id: str
+    result: Optional[object]
+    classification: CellClassification
+    attempts: List[AttemptRecord] = field(default_factory=list)
+    escalations: int = 0
+    note: str = ""
+
+    @property
+    def final_attempt(self) -> Optional[AttemptRecord]:
+        """The attempt that produced the result (last successful one)."""
+        for record in reversed(self.attempts):
+            if record.error is None:
+                return record
+        return None
+
+    def execution_record(self) -> Dict[str, object]:
+        """The failure-classification payload carried by artifacts."""
+        final = self.final_attempt
+        return {
+            "classification": self.classification.value,
+            "attempts": [record.to_payload() for record in self.attempts],
+            "escalations": self.escalations,
+            "final_seed": final.seed if final else None,
+            "final_n_runs": final.n_runs if final else None,
+            "note": self.note,
+        }
+
+    def to_payload(self) -> Dict[str, object]:
+        """Checkpoint-journal payload (atomic JSON)."""
+        return {
+            "cell_id": self.cell_id,
+            "execution": self.execution_record(),
+            "result": (
+                serialize_result(self.result)
+                if self.result is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "SupervisedCell":
+        execution = payload.get("execution", {})
+        return cls(
+            cell_id=str(payload["cell_id"]),
+            result=(
+                deserialize_result(payload["result"])
+                if payload.get("result") is not None else None
+            ),
+            classification=CellClassification(
+                execution.get("classification", "clean")
+            ),
+            attempts=[
+                AttemptRecord.from_payload(record)
+                for record in execution.get("attempts", [])
+            ],
+            escalations=int(execution.get("escalations", 0)),
+            note=str(execution.get("note", "")),
+        )
+
+
+class ResilientExecutor:
+    """Supervises experiment cells per an :class:`ExecutionPolicy`."""
+
+    def __init__(
+        self,
+        policy: Optional[ExecutionPolicy] = None,
+        injector: Optional[FaultInjector] = None,
+        store: Optional[CheckpointStore] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.policy = policy or ExecutionPolicy.compat()
+        self.injector = injector
+        self.store = store
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    def supervise(
+        self,
+        cell_id: str,
+        attempt_fn: Callable[[int, Optional[int]], object],
+        *,
+        seed: int,
+        n_runs: Optional[int] = None,
+        pvalue_of: Optional[Callable[[object], float]] = None,
+        cycles_of: Optional[Callable[[object], float]] = None,
+        degraded_note: Optional[Callable[[object], Optional[str]]] = None,
+    ) -> SupervisedCell:
+        """Run one cell under the policy; never raises unless fail_fast.
+
+        Args:
+            cell_id: Stable identifier (also the checkpoint key).
+            attempt_fn: ``(seed, n_runs) -> result``; ``n_runs`` is
+                ``None`` for cells without a sample count (Figure 7).
+            seed: Base seed; retries derive fresh seeds from it.
+            n_runs: Requested sample count, escalated adaptively.
+            pvalue_of: Extracts the decision p-value (enables the
+                adaptive policy).
+            cycles_of: Extracts simulated cycles spent by one attempt
+                (enables the per-cell budget).
+            degraded_note: Returns a reason string when the result is
+                usable but degraded (e.g. samples lost to faults).
+        """
+        if self.store is not None and self.store.has(cell_id):
+            return SupervisedCell.from_payload(self.store.load(cell_id))
+
+        policy = self.policy
+        attempts: List[AttemptRecord] = []
+        n_runs_now = n_runs
+        escalations = 0
+        failures = 0
+        cycles_spent = 0.0
+        note = ""
+        result: Optional[object] = None
+        attempt = 0
+
+        while True:
+            seed_now = reseed(seed, attempt - escalations)
+            backoff = policy.retry.backoff_before(attempt - escalations)
+            if backoff:
+                self._sleep(backoff)
+            record = AttemptRecord(
+                attempt=attempt, seed=seed_now, n_runs=n_runs_now,
+                backoff_s=backoff,
+            )
+            try:
+                if (
+                    policy.cell_cycle_budget is not None
+                    and cycles_spent >= policy.cell_cycle_budget
+                ):
+                    raise BudgetExceededError(
+                        f"cell {cell_id!r} exhausted its cycle budget "
+                        f"({cycles_spent:.0f} >= "
+                        f"{policy.cell_cycle_budget:.0f} simulated cycles)"
+                    )
+                if self.injector is not None:
+                    self.injector.maybe_crash(cell_id, attempt)
+                result = attempt_fn(seed_now, n_runs_now)
+            except BudgetExceededError as error:
+                # The budget is gone; retrying cannot restore it.
+                record.error = str(error)
+                record.error_type = type(error).__name__
+                attempts.append(record)
+                return self._conclude(
+                    cell_id, None, CellClassification.FAILED, attempts,
+                    escalations, str(error), error,
+                )
+            except ReproError as error:
+                record.error = str(error)
+                record.error_type = type(error).__name__
+                attempts.append(record)
+                failures += 1
+                if failures > policy.retry.max_retries:
+                    return self._conclude(
+                        cell_id, None, CellClassification.FAILED, attempts,
+                        escalations,
+                        f"gave up after {failures} failed attempts", error,
+                    )
+                attempt += 1
+                continue
+
+            attempts.append(record)
+            if cycles_of is not None:
+                cycles_spent += float(cycles_of(result))
+            if degraded_note is not None:
+                reason = degraded_note(result)
+                if reason:
+                    note = reason
+            if (
+                policy.adaptive is not None
+                and pvalue_of is not None
+                and n_runs_now is not None
+                and policy.adaptive.inconclusive(pvalue_of(result))
+            ):
+                budget_left = (
+                    policy.cell_cycle_budget is None
+                    or cycles_spent < policy.cell_cycle_budget
+                )
+                if (
+                    escalations < policy.adaptive.max_escalations
+                    and budget_left
+                ):
+                    escalations += 1
+                    n_runs_now *= policy.adaptive.escalation_factor
+                    attempt += 1
+                    continue
+                note = note or (
+                    f"p-value {pvalue_of(result):.4f} still inconclusive "
+                    f"after {escalations} escalation(s)"
+                )
+                return self._conclude(
+                    cell_id, result, CellClassification.DEGRADED,
+                    attempts, escalations, note, None,
+                )
+            break
+
+        if note:
+            classification = CellClassification.DEGRADED
+        elif failures or escalations:
+            classification = CellClassification.RETRIED
+        else:
+            classification = CellClassification.CLEAN
+        return self._conclude(
+            cell_id, result, classification, attempts, escalations, note,
+            None,
+        )
+
+    def _conclude(
+        self,
+        cell_id: str,
+        result: Optional[object],
+        classification: CellClassification,
+        attempts: List[AttemptRecord],
+        escalations: int,
+        note: str,
+        error: Optional[BaseException],
+    ) -> SupervisedCell:
+        cell = SupervisedCell(
+            cell_id=cell_id,
+            result=result,
+            classification=classification,
+            attempts=attempts,
+            escalations=escalations,
+            note=note,
+        )
+        if classification is CellClassification.FAILED:
+            if self.policy.fail_fast and error is not None:
+                raise error
+            # Failed cells are not journaled: a resumed run should
+            # re-attempt them rather than pin the failure forever.
+            return cell
+        if self.store is not None:
+            self.store.save(cell_id, cell.to_payload())
+        return cell
+
+    # ------------------------------------------------------------------
+    def run_cell_supervised(
+        self,
+        cell_id: str,
+        variant: AttackVariant,
+        channel: ChannelType,
+        predictor: str,
+        n_runs: int = 100,
+        seed: int = 0,
+        **overrides,
+    ) -> SupervisedCell:
+        """Supervised version of :func:`repro.harness.experiment.run_cell`."""
+        from repro.harness.experiment import run_cell
+
+        injector = self.injector
+        requested_runs = n_runs
+
+        def attempt_fn(seed_now: int, n_runs_now: Optional[int]):
+            kwargs = dict(overrides)
+            if self.policy.max_trial_cycles is not None:
+                kwargs.setdefault(
+                    "max_trial_cycles", self.policy.max_trial_cycles
+                )
+            predictor_arg: object = predictor
+            if injector is not None:
+                if injector.profile.perturbs_dram:
+                    memory_config = kwargs.get("memory_config")
+                    if memory_config is None:
+                        from repro.core.attack import attack_dram_config
+                        memory_config = MemoryConfig(
+                            dram=attack_dram_config()
+                        )
+                    kwargs["memory_config"] = dc_replace(
+                        memory_config,
+                        dram=injector.perturb_dram(memory_config.dram),
+                    )
+                if injector.profile.vp_corrupt_rate:
+                    def corrupting_factory(confidence: int):
+                        return injector.wrap_predictor(
+                            make_predictor(predictor, confidence),
+                            cell_id, seed_now,
+                        )
+                    # Preserve the reported predictor name.
+                    corrupting_factory.__name__ = predictor
+                    predictor_arg = corrupting_factory
+
+            result = run_cell(
+                variant, channel, predictor_arg, n_runs_now, seed_now,
+                **kwargs,
+            )
+            if injector is not None and injector.profile.perturbs_samples:
+                result = _apply_sample_faults(
+                    injector, result, cell_id, seed_now
+                )
+            return result
+
+        def degraded_note(result) -> Optional[str]:
+            mapped = len(result.comparison.mapped)
+            unmapped = len(result.comparison.unmapped)
+            if mapped < requested_runs or unmapped < requested_runs:
+                return (
+                    f"only {min(mapped, unmapped)}/{requested_runs} "
+                    "samples survived fault injection"
+                )
+            return None
+
+        return self.supervise(
+            cell_id,
+            attempt_fn,
+            seed=seed,
+            n_runs=n_runs,
+            pvalue_of=lambda result: result.pvalue,
+            cycles_of=lambda result: (
+                result.mean_trial_cycles * 2
+                * len(result.comparison.mapped)
+            ),
+            degraded_note=degraded_note,
+        )
+
+    def run_rsa_supervised(
+        self,
+        cell_id: str,
+        exponent: int,
+        seed: int = 7,
+        memory_config: Optional[MemoryConfig] = None,
+        **config_overrides,
+    ) -> SupervisedCell:
+        """Supervised version of the Figure 7 RSA exponent leak."""
+        injector = self.injector
+
+        def attempt_fn(seed_now: int, n_runs_now: Optional[int]):
+            mem = memory_config
+            if (
+                injector is not None
+                and injector.profile.perturbs_dram
+                and mem is not None
+            ):
+                mem = dc_replace(
+                    mem, dram=injector.perturb_dram(mem.dram)
+                )
+            kwargs = dict(config_overrides)
+            if self.policy.max_trial_cycles is not None:
+                kwargs.setdefault(
+                    "max_trial_cycles", self.policy.max_trial_cycles
+                )
+            config = RsaAttackConfig(
+                seed=seed_now, memory_config=mem, **kwargs
+            )
+            return RsaVpAttack(config).run(Mpi.from_int(exponent))
+
+        return self.supervise(cell_id, attempt_fn, seed=seed)
+
+
+def _apply_sample_faults(
+    injector: FaultInjector,
+    result: ExperimentResult,
+    cell_id: str,
+    attempt_seed: int,
+) -> ExperimentResult:
+    """Rebuild a result after dropping/duplicating timing samples.
+
+    Raises (via the t-test) :class:`~repro.errors.StatsError` when too
+    few samples survive — the empty-sample degraded path the executor
+    retries.
+    """
+    comparison = result.comparison
+    mapped = TimingDistribution(
+        comparison.mapped.label,
+        injector.corrupt_samples(
+            comparison.mapped.samples, cell_id, attempt_seed, "mapped"
+        ),
+    )
+    unmapped = TimingDistribution(
+        comparison.unmapped.label,
+        injector.corrupt_samples(
+            comparison.unmapped.samples, cell_id, attempt_seed, "unmapped"
+        ),
+    )
+    return dc_replace(
+        result, comparison=DistributionComparison.compare(mapped, unmapped)
+    )
+
+
+# ----------------------------------------------------------------------
+# Resilient sweep drivers (supervised analogues of experiment.py)
+# ----------------------------------------------------------------------
+
+def _slug(text: str) -> str:
+    collapsed = re.sub(
+        r"-+", "-",
+        "".join(ch if ch.isalnum() else "-" for ch in text.lower()),
+    )
+    return collapsed.strip("-")
+
+
+#: The four Figure 5/8 panel specifications, in paper order.
+_PANEL_SPECS: Tuple[Tuple[str, ChannelType, str], ...] = (
+    ("(1) Timing-Window Channel (no VP)", ChannelType.TIMING_WINDOW, "none"),
+    ("(2) Timing-Window Channel (LVP)", ChannelType.TIMING_WINDOW, "lvp"),
+    ("(3) Persistent Channel (no VP)", ChannelType.PERSISTENT, "none"),
+    ("(4) Persistent Channel (LVP)", ChannelType.PERSISTENT, "lvp"),
+)
+
+
+def figure_panels_supervised(
+    executor: ResilientExecutor,
+    variant: AttackVariant,
+    figure: str,
+    n_runs: int = 100,
+    seed: int = 0,
+) -> List[Tuple[str, SupervisedCell]]:
+    """Supervised Figure 5/8 panels for ``variant``."""
+    panels: List[Tuple[str, SupervisedCell]] = []
+    for title, channel, predictor in _PANEL_SPECS:
+        cell_id = f"{figure}/{channel.value}-{predictor}"
+        panels.append((
+            title,
+            executor.run_cell_supervised(
+                cell_id, variant, channel, predictor, n_runs, seed
+            ),
+        ))
+    return panels
+
+
+def table3_supervised(
+    executor: ResilientExecutor,
+    n_runs: int = 100,
+    seed: int = 0,
+    predictor: str = "lvp",
+) -> Dict[AttackCategory, Dict[str, Optional[SupervisedCell]]]:
+    """Supervised Table III sweep; resumes over the executor's store."""
+    results: Dict[AttackCategory, Dict[str, Optional[SupervisedCell]]] = {}
+    for variant in ALL_VARIANTS:
+        slug = _slug(variant.category.value)
+        cells: Dict[str, Optional[SupervisedCell]] = {
+            "tw_novp": None, "tw_vp": None, "pc_novp": None, "pc_vp": None,
+        }
+        specs = [
+            ("tw_novp", ChannelType.TIMING_WINDOW, "none"),
+            ("tw_vp", ChannelType.TIMING_WINDOW, predictor),
+        ]
+        if ChannelType.PERSISTENT in variant.supported_channels:
+            specs += [
+                ("pc_novp", ChannelType.PERSISTENT, "none"),
+                ("pc_vp", ChannelType.PERSISTENT, predictor),
+            ]
+        for key, channel, cell_predictor in specs:
+            cells[key] = executor.run_cell_supervised(
+                f"table3/{slug}/{key}", variant, channel, cell_predictor,
+                n_runs, seed,
+            )
+        results[variant.category] = cells
+    return results
+
+
+def figure7_supervised(
+    executor: ResilientExecutor,
+    seed: int = 7,
+    exponent: Optional[int] = None,
+) -> SupervisedCell:
+    """Supervised Figure 7 RSA exponent leak."""
+    from repro.harness.experiment import FIGURE7_EXPONENT, RSA_DRAM
+
+    return executor.run_rsa_supervised(
+        "fig7/rsa",
+        exponent if exponent is not None else FIGURE7_EXPONENT,
+        seed=seed,
+        memory_config=MemoryConfig(dram=RSA_DRAM),
+    )
+
+
+def plain_results(
+    supervised: Dict[AttackCategory, Dict[str, Optional[SupervisedCell]]],
+) -> Dict[AttackCategory, Dict[str, Optional[ExperimentResult]]]:
+    """Strip supervision metadata: the classic table3_results shape."""
+    return {
+        category: {
+            key: (cell.result if cell is not None else None)
+            for key, cell in cells.items()
+        }
+        for category, cells in supervised.items()
+    }
+
+
+def plain_panels(
+    panels: List[Tuple[str, SupervisedCell]],
+) -> List[Tuple[str, ExperimentResult]]:
+    """Strip supervision metadata from figure panels, dropping failures."""
+    return [
+        (title, cell.result)
+        for title, cell in panels
+        if cell.result is not None
+    ]

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from repro.errors import MemoryError_
+from repro.errors import MemorySystemError
 
 #: Bit position where the pid is inserted to form private physical addresses.
 PID_SHIFT = 48
@@ -48,9 +48,9 @@ class SharedRegion:
 
     def __post_init__(self) -> None:
         if self.size <= 0:
-            raise MemoryError_(f"shared region size must be positive, got {self.size}")
+            raise MemorySystemError(f"shared region size must be positive, got {self.size}")
         if self.base < 0 or self.phys_base < 0:
-            raise MemoryError_("shared region addresses must be non-negative")
+            raise MemorySystemError("shared region addresses must be non-negative")
 
     def contains(self, vaddr: int) -> bool:
         """True when the address falls inside the region."""
@@ -74,12 +74,12 @@ class AddressMapper:
         Returns the created :class:`SharedRegion`.
 
         Raises:
-            MemoryError_: If the range overlaps an existing shared
+            MemorySystemError: If the range overlaps an existing shared
                 region.
         """
         for existing in self._shared:
             if base < existing.base + existing.size and existing.base < base + size:
-                raise MemoryError_(
+                raise MemorySystemError(
                     f"shared region [{base:#x}, {base + size:#x}) overlaps "
                     f"existing region at {existing.base:#x}"
                 )
@@ -92,20 +92,20 @@ class AddressMapper:
         """Translate a virtual address for process ``pid``.
 
         Raises:
-            MemoryError_: For negative addresses or pids, or virtual
+            MemorySystemError: For negative addresses or pids, or virtual
                 addresses large enough to collide with the pid field.
         """
         if vaddr < 0:
-            raise MemoryError_(f"negative virtual address {vaddr:#x}")
+            raise MemorySystemError(f"negative virtual address {vaddr:#x}")
         if pid < 0:
-            raise MemoryError_(f"negative pid {pid}")
+            raise MemorySystemError(f"negative pid {pid}")
         for region in self._shared:
             if region.contains(vaddr):
                 return region.translate(vaddr)
         if vaddr >= (1 << PID_SHIFT) - (1 << 44):
             # Reserve the top of the virtual space so private translations
             # cannot collide with the shared physical window.
-            raise MemoryError_(
+            raise MemorySystemError(
                 f"virtual address {vaddr:#x} exceeds private address space"
             )
         return ((pid + 1) << PID_SHIFT) | vaddr

@@ -16,7 +16,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.errors import MemoryError_
+from repro.errors import MemorySystemError
 from repro.memory.replacement import ReplacementPolicy, make_policy
 
 
@@ -77,15 +77,15 @@ class SetAssociativeCache:
         rng: Optional[random.Random] = None,
     ) -> None:
         if not _is_power_of_two(line_size):
-            raise MemoryError_(f"line_size must be a power of two, got {line_size}")
+            raise MemorySystemError(f"line_size must be a power of two, got {line_size}")
         if size_bytes <= 0 or size_bytes % (ways * line_size) != 0:
-            raise MemoryError_(
+            raise MemorySystemError(
                 f"size {size_bytes} is not divisible by ways*line_size "
                 f"({ways}*{line_size})"
             )
         num_sets = size_bytes // (ways * line_size)
         if not _is_power_of_two(num_sets):
-            raise MemoryError_(f"number of sets must be a power of two, got {num_sets}")
+            raise MemorySystemError(f"number of sets must be a power of two, got {num_sets}")
         self.name = name
         self.size_bytes = size_bytes
         self.ways = ways

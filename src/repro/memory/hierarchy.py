@@ -20,7 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.errors import MemoryError_
+from repro.errors import MemorySystemError
 from repro.memory.address import AddressMapper, SharedRegion, line_address
 from repro.memory.cache import SetAssociativeCache
 from repro.memory.memsys import BackingStore, DramConfig, DramModel
@@ -52,9 +52,9 @@ class MemoryConfig:
         for name in ("l1_hit_latency", "l2_hit_latency", "flush_latency",
                      "store_latency"):
             if getattr(self, name) < 0:
-                raise MemoryError_(f"{name} must be >= 0")
+                raise MemorySystemError(f"{name} must be >= 0")
         if self.l2_jitter < 0:
-            raise MemoryError_("l2_jitter must be >= 0")
+            raise MemorySystemError("l2_jitter must be >= 0")
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.errors import MemoryError_
+from repro.errors import MemorySystemError
 
 _VALUE_MASK = (1 << 64) - 1
 
@@ -57,13 +57,13 @@ class DramConfig:
 
     def __post_init__(self) -> None:
         if self.base_latency < 1:
-            raise MemoryError_("DRAM base latency must be >= 1")
+            raise MemorySystemError("DRAM base latency must be >= 1")
         if self.jitter < 0:
-            raise MemoryError_("DRAM jitter must be >= 0")
+            raise MemorySystemError("DRAM jitter must be >= 0")
         if not 0.0 <= self.tail_probability <= 1.0:
-            raise MemoryError_("tail probability must be in [0, 1]")
+            raise MemorySystemError("tail probability must be in [0, 1]")
         if self.tail_extra < 0:
-            raise MemoryError_("tail extra latency must be >= 0")
+            raise MemorySystemError("tail extra latency must be >= 0")
 
 
 class DramModel:

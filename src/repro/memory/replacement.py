@@ -11,7 +11,7 @@ import abc
 import random
 from typing import Dict, List, Optional, Sequence
 
-from repro.errors import MemoryError_
+from repro.errors import MemorySystemError
 
 
 class ReplacementPolicy(abc.ABC):
@@ -19,7 +19,7 @@ class ReplacementPolicy(abc.ABC):
 
     def __init__(self, ways: int) -> None:
         if ways < 1:
-            raise MemoryError_(f"ways must be >= 1, got {ways}")
+            raise MemorySystemError(f"ways must be >= 1, got {ways}")
         self.ways = ways
 
     @abc.abstractmethod
@@ -126,12 +126,12 @@ def make_policy(
     """Construct a replacement policy by name (``lru``/``fifo``/``random``).
 
     Raises:
-        MemoryError_: For unknown policy names.
+        MemorySystemError: For unknown policy names.
     """
     try:
         factory = _POLICIES[name.lower()]
     except KeyError:
-        raise MemoryError_(
+        raise MemorySystemError(
             f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}"
         ) from None
     if factory is RandomPolicy:

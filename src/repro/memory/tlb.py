@@ -11,7 +11,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Tuple
 
-from repro.errors import MemoryError_
+from repro.errors import MemorySystemError
 
 
 @dataclass
@@ -48,11 +48,11 @@ class Tlb:
         walk_latency: int = 30,
     ) -> None:
         if entries < 1:
-            raise MemoryError_(f"TLB entries must be >= 1, got {entries}")
+            raise MemorySystemError(f"TLB entries must be >= 1, got {entries}")
         if page_size <= 0 or (page_size & (page_size - 1)) != 0:
-            raise MemoryError_(f"page_size must be a power of two, got {page_size}")
+            raise MemorySystemError(f"page_size must be a power of two, got {page_size}")
         if walk_latency < 0:
-            raise MemoryError_(f"walk_latency must be >= 0, got {walk_latency}")
+            raise MemorySystemError(f"walk_latency must be >= 0, got {walk_latency}")
         self.entries = entries
         self.page_size = page_size
         self.walk_latency = walk_latency

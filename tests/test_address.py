@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import MemoryError_
+from repro.errors import MemorySystemError
 from repro.memory.address import (
     AddressMapper,
     line_address,
@@ -20,15 +20,15 @@ class TestPrivateTranslation:
         assert mapper.translate(1, 0x1000) == mapper.translate(1, 0x1000)
 
     def test_negative_vaddr_rejected(self):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemorySystemError):
             AddressMapper().translate(1, -4)
 
     def test_negative_pid_rejected(self):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemorySystemError):
             AddressMapper().translate(-1, 4)
 
     def test_huge_vaddr_rejected(self):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemorySystemError):
             AddressMapper().translate(0, 1 << 50)
 
 
@@ -56,7 +56,7 @@ class TestSharedRegions:
     def test_overlapping_regions_rejected(self):
         mapper = AddressMapper()
         mapper.add_shared_region(0x1000, 0x1000)
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemorySystemError):
             mapper.add_shared_region(0x1800, 0x1000)
 
     def test_two_disjoint_regions_get_distinct_backing(self):
@@ -72,7 +72,7 @@ class TestSharedRegions:
         assert not mapper.is_shared(0x2000)
 
     def test_zero_size_region_rejected(self):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemorySystemError):
             AddressMapper().add_shared_region(0x1000, 0)
 
 

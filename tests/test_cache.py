@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import MemoryError_
+from repro.errors import MemorySystemError
 from repro.memory.cache import SetAssociativeCache
 
 
@@ -19,15 +19,15 @@ class TestConstruction:
         assert cache.ways == 2
 
     def test_rejects_non_power_of_two_line(self):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemorySystemError):
             SetAssociativeCache("x", 4096, 2, line_size=48)
 
     def test_rejects_indivisible_size(self):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemorySystemError):
             SetAssociativeCache("x", 1000, 2, line_size=64)
 
     def test_rejects_non_power_of_two_sets(self):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemorySystemError):
             SetAssociativeCache("x", 3 * 2 * 64, 2, line_size=64)
 
 

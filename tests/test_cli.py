@@ -133,3 +133,53 @@ class TestHeavierCommands:
         out = capsys.readouterr().out
         assert "table1" in out
         assert (tmp_path / "fig5.json").exists()
+
+
+class TestResilienceFlags:
+    def test_attack_supervised_prints_classification(self, capsys):
+        code = main([
+            "attack", "--variant", "Fill Up", "--runs", "6", "--seed", "1",
+            "--max-retries", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        # With --max-retries the cell is supervised; the classification
+        # line is printed (clean, or retried after adaptive escalation).
+        assert "execution: " in out
+        assert "attempt(s)" in out
+        assert "Fill Up" in out
+
+    def test_attack_with_fault_profile(self, capsys):
+        code = main([
+            "attack", "--variant", "Fill Up", "--runs", "6", "--seed", "1",
+            "--fault-profile", "dram-noise",
+        ])
+        assert code == 0
+        assert "execution:" in capsys.readouterr().out
+
+    def test_attack_unknown_fault_profile_fails_cleanly(self, capsys):
+        code = main([
+            "attack", "--variant", "Fill Up", "--runs", "6",
+            "--fault-profile", "bogus",
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_all_resume_round_trip(self, tmp_path, capsys):
+        args = [
+            "all", "--out", str(tmp_path), "--runs", "3", "--seed", "1",
+            "--artifacts", "fig5",
+        ]
+        assert main(args) == 0
+        first = (tmp_path / "fig5.json").read_bytes()
+        assert main(args + ["--resume"]) == 0
+        assert (tmp_path / "fig5.json").read_bytes() == first
+
+    def test_all_with_fault_profile_still_writes(self, tmp_path, capsys):
+        code = main([
+            "all", "--out", str(tmp_path), "--runs", "3", "--seed", "1",
+            "--artifacts", "fig5", "--fault-profile", "crash",
+            "--max-retries", "3",
+        ])
+        assert code == 0
+        assert (tmp_path / "run_summary.json").exists()

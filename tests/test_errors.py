@@ -1,5 +1,7 @@
 """Tests for the exception hierarchy."""
 
+import warnings
+
 import pytest
 
 from repro import errors
@@ -7,10 +9,11 @@ from repro import errors
 
 class TestHierarchy:
     @pytest.mark.parametrize("exc", [
-        errors.IsaError, errors.AssemblyError, errors.MemoryError_,
+        errors.IsaError, errors.AssemblyError, errors.MemorySystemError,
         errors.PredictorError, errors.PipelineError, errors.SimulationError,
         errors.AttackError, errors.ModelError, errors.StatsError,
-        errors.CryptoError, errors.HarnessError,
+        errors.CryptoError, errors.HarnessError, errors.BudgetExceededError,
+        errors.FaultInjectionError, errors.InjectedCrashError,
     ])
     def test_all_derive_from_repro_error(self, exc):
         assert issubclass(exc, errors.ReproError)
@@ -18,10 +21,36 @@ class TestHierarchy:
     def test_assembly_error_is_isa_error(self):
         assert issubclass(errors.AssemblyError, errors.IsaError)
 
+    def test_budget_error_is_simulation_error(self):
+        # A blown cycle budget aborts the simulation, so a handler for
+        # SimulationError keeps catching it.
+        assert issubclass(errors.BudgetExceededError, errors.SimulationError)
+
+    def test_injected_crash_is_fault_injection_error(self):
+        assert issubclass(
+            errors.InjectedCrashError, errors.FaultInjectionError
+        )
+
     def test_single_handler_catches_everything(self):
-        for exc in (errors.IsaError("x"), errors.CryptoError("y")):
+        for exc in (errors.IsaError("x"), errors.CryptoError("y"),
+                    errors.FaultInjectionError("z")):
             with pytest.raises(errors.ReproError):
                 raise exc
 
     def test_memory_error_does_not_shadow_builtin(self):
-        assert not issubclass(errors.MemoryError_, MemoryError)
+        assert not issubclass(errors.MemorySystemError, MemoryError)
+
+
+class TestDeprecatedAlias:
+    def test_memory_error_alias_still_works(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert errors.MemoryError_ is errors.MemorySystemError
+
+    def test_alias_warns(self):
+        with pytest.warns(DeprecationWarning, match="MemorySystemError"):
+            errors.MemoryError_
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            errors.NoSuchError

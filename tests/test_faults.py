@@ -1,0 +1,169 @@
+"""Tests for the deterministic fault-injection framework."""
+
+import pytest
+
+from repro.errors import FaultInjectionError, InjectedCrashError
+from repro.harness.faults import (
+    PROFILES,
+    CorruptingPredictor,
+    FaultInjector,
+    FaultProfile,
+    fault_profile,
+    no_faults,
+)
+from repro.memory.memsys import DramConfig
+from repro.vp.base import AccessKey
+from repro.vp.lvp import LastValuePredictor
+
+
+class TestProfiles:
+    def test_registry_contains_none_and_chaos(self):
+        assert "none" in PROFILES
+        assert "chaos" in PROFILES
+
+    def test_lookup(self):
+        assert fault_profile("crash").crash_rate > 0
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            fault_profile("bogus")
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultProfile(name="bad", sample_drop_rate=1.5)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultProfile(name="bad", dram_jitter_scale=-1.0)
+
+    def test_none_profile_perturbs_nothing(self):
+        profile = PROFILES["none"]
+        assert not profile.perturbs_dram
+        assert not profile.perturbs_samples
+        assert profile.crash_rate == 0.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        a = FaultInjector(PROFILES["sample-loss"], seed=5)
+        b = FaultInjector(PROFILES["sample-loss"], seed=5)
+        samples = [float(i) for i in range(50)]
+        assert a.corrupt_samples(samples, "cell", 0, "mapped") == \
+            b.corrupt_samples(samples, "cell", 0, "mapped")
+
+    def test_different_cells_different_draws(self):
+        injector = FaultInjector(PROFILES["sample-loss"], seed=5)
+        samples = [float(i) for i in range(200)]
+        assert injector.corrupt_samples(samples, "cell-a", 0, "mapped") != \
+            injector.corrupt_samples(samples, "cell-b", 0, "mapped")
+
+    def test_draws_independent_of_call_order(self):
+        injector = FaultInjector(PROFILES["sample-loss"], seed=5)
+        samples = [float(i) for i in range(50)]
+        first = injector.corrupt_samples(samples, "cell", 0, "mapped")
+        injector.corrupt_samples(samples, "other", 3, "unmapped")
+        assert injector.corrupt_samples(samples, "cell", 0, "mapped") == first
+
+
+class TestCrashInjection:
+    def test_crash_cells_crash_on_first_attempt_only(self):
+        profile = FaultProfile(name="t", crash_cells=("doomed",))
+        injector = FaultInjector(profile, seed=0)
+        with pytest.raises(InjectedCrashError):
+            injector.maybe_crash("doomed", 0)
+        injector.maybe_crash("doomed", 1)  # retries succeed
+        injector.maybe_crash("innocent", 0)
+
+    def test_crash_rate_deterministic(self):
+        injector = FaultInjector(PROFILES["crash"], seed=11)
+        outcomes = []
+        for attempt in range(20):
+            try:
+                injector.maybe_crash("cell", attempt)
+                outcomes.append(False)
+            except InjectedCrashError:
+                outcomes.append(True)
+        replay = []
+        injector2 = FaultInjector(PROFILES["crash"], seed=11)
+        for attempt in range(20):
+            try:
+                injector2.maybe_crash("cell", attempt)
+                replay.append(False)
+            except InjectedCrashError:
+                replay.append(True)
+        assert outcomes == replay
+        assert any(outcomes)  # 25 % rate over 20 draws
+
+    def test_no_faults_never_crashes(self):
+        injector = no_faults()
+        for attempt in range(50):
+            injector.maybe_crash("cell", attempt)
+
+
+class TestDramPerturbation:
+    def test_scales_jitter_and_tail(self):
+        injector = FaultInjector(PROFILES["dram-noise"], seed=0)
+        base = DramConfig(base_latency=180, jitter=100,
+                          tail_probability=0.02, tail_extra=60)
+        noisy = injector.perturb_dram(base)
+        assert noisy.jitter == 250
+        assert noisy.tail_probability == pytest.approx(0.10)
+        assert noisy.tail_extra == 120
+        assert noisy.base_latency == base.base_latency
+
+    def test_tail_probability_clamped(self):
+        profile = FaultProfile(name="t", dram_tail_boost=1.0)
+        noisy = FaultInjector(profile, seed=0).perturb_dram(DramConfig())
+        assert noisy.tail_probability == 1.0
+
+    def test_none_profile_is_identity(self):
+        base = DramConfig()
+        assert no_faults().perturb_dram(base) is base
+
+
+class TestSampleCorruption:
+    def test_drop_and_duplicate(self):
+        profile = FaultProfile(name="t", sample_drop_rate=0.5,
+                               sample_dup_rate=0.5)
+        injector = FaultInjector(profile, seed=1)
+        samples = [float(i) for i in range(1000)]
+        out = injector.corrupt_samples(samples, "cell", 0, "mapped")
+        assert out != samples
+        assert set(out) <= set(samples)
+
+    def test_total_loss_possible(self):
+        profile = FaultProfile(name="t", sample_drop_rate=1.0)
+        injector = FaultInjector(profile, seed=1)
+        assert injector.corrupt_samples([1.0, 2.0], "cell", 0, "m") == []
+
+
+class TestVpCorruption:
+    def test_wrapper_corrupts_trained_values(self):
+        inner = LastValuePredictor(confidence_threshold=2)
+        injector = FaultInjector(
+            FaultProfile(name="t", vp_corrupt_rate=1.0), seed=0
+        )
+        wrapped = injector.wrap_predictor(inner, "cell", 0)
+        assert isinstance(wrapped, CorruptingPredictor)
+        key = AccessKey(pc=0x40, addr=0x1000)
+        for _ in range(8):
+            wrapped.train(key, 42)
+        assert wrapped.corruptions == 8
+        # Every train saw a (differently) flipped value, so the entry
+        # never stabilises at full confidence.
+        assert wrapped.predict(key) is None or \
+            wrapped.predict(key).value != 42
+
+    def test_zero_rate_returns_inner(self):
+        inner = LastValuePredictor()
+        assert no_faults().wrap_predictor(inner, "cell", 0) is inner
+
+    def test_wrapper_forwards_reset(self):
+        inner = LastValuePredictor(confidence_threshold=1)
+        wrapped = CorruptingPredictor(inner, 0.0, __import__("random").Random(0))
+        key = AccessKey(pc=0x40, addr=0x1000)
+        wrapped.train(key, 7)
+        wrapped.train(key, 7)
+        assert wrapped.predict(key) is not None
+        wrapped.reset()
+        assert wrapped.predict(key) is None

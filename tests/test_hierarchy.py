@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import MemoryError_
+from repro.errors import MemorySystemError
 from repro.memory.hierarchy import MemoryConfig, MemorySystem
 from repro.memory.memsys import DramConfig
 
@@ -128,7 +128,7 @@ class TestStats:
         assert memory.is_cached(1, 0x9000)
 
     def test_config_validation(self):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemorySystemError):
             MemoryConfig(l1_hit_latency=-1)
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemorySystemError):
             MemoryConfig(l2_jitter=-2)

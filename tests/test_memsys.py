@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.errors import MemoryError_
+from repro.errors import MemorySystemError
 from repro.memory.memsys import BackingStore, DramConfig, DramModel
 
 
@@ -13,15 +13,15 @@ class TestDramConfig:
         DramConfig()
 
     def test_rejects_zero_base(self):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemorySystemError):
             DramConfig(base_latency=0)
 
     def test_rejects_negative_jitter(self):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemorySystemError):
             DramConfig(jitter=-1)
 
     def test_rejects_bad_probability(self):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemorySystemError):
             DramConfig(tail_probability=1.5)
 
 

@@ -6,14 +6,17 @@ import os
 import pytest
 
 from repro.core.attack import AttackConfig, AttackRunner
+from repro.core.channels import ChannelType
 from repro.core.variants import TrainTestAttack
 from repro.errors import HarnessError
 from repro.harness.persistence import (
+    cell_record,
     experiment_record,
     run_all,
     save_json,
     save_text,
 )
+from repro.harness.runner import ResilientExecutor
 
 
 @pytest.fixture
@@ -32,6 +35,25 @@ class TestRecords:
         assert isinstance(parsed["pvalue"], float)
         assert parsed["mapped_samples"] == 5
 
+    def test_record_carries_execution_classification(self, result):
+        record = experiment_record(result)
+        assert record["execution"]["classification"] == "clean"
+        assert record["execution"]["note"] == "unsupervised run"
+
+    def test_supervised_cell_record(self):
+        executor = ResilientExecutor()
+        cell = executor.run_cell_supervised(
+            "t", TrainTestAttack(), ChannelType.TIMING_WINDOW,
+            "lvp", n_runs=4, seed=1,
+        )
+        record = cell_record(cell)
+        assert record["execution"]["classification"] == "clean"
+        assert record["execution"]["final_seed"] == 1
+        assert record["pvalue"] == cell.result.pvalue
+
+    def test_cell_record_none_passthrough(self):
+        assert cell_record(None) is None
+
 
 class TestSavers:
     def test_save_json_roundtrip(self, tmp_path):
@@ -47,6 +69,15 @@ class TestSavers:
     def test_missing_directory_rejected(self):
         with pytest.raises(HarnessError):
             save_json("/nonexistent-dir-xyz/x.json", {})
+
+    def test_writes_are_atomic_no_tmp_left(self, tmp_path):
+        save_json(str(tmp_path / "x.json"), {"a": 1})
+        save_text(str(tmp_path / "x.txt"), "hello")
+        leftovers = [
+            name for name in os.listdir(str(tmp_path))
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
 
 
 class TestRunAll:
@@ -65,6 +96,32 @@ class TestRunAll:
         payload = json.load(open(str(tmp_path / "fig5.json")))
         assert len(payload["panels"]) == 4
         assert payload["n_runs"] == 4
+        for record in payload["panels"].values():
+            assert record["execution"]["classification"] in (
+                "clean", "retried", "degraded"
+            )
+
+    def test_supervised_run_writes_checkpoint_and_summary(self, tmp_path):
+        run_all(str(tmp_path), n_runs=4, seed=1, artifacts=["fig5"])
+        checkpoint = tmp_path / "checkpoint"
+        assert (checkpoint / "manifest.json").exists()
+        assert len(list((checkpoint / "cells").glob("*.json"))) == 4
+        summary = json.load(open(str(tmp_path / "run_summary.json")))
+        assert summary["cells"] == 4
+        assert sum(summary["classifications"].values()) == 4
+
+    def test_resume_reuses_journaled_cells(self, tmp_path):
+        run_all(str(tmp_path), n_runs=4, seed=1, artifacts=["fig5"])
+        first = json.load(open(str(tmp_path / "fig5.json")))
+        run_all(str(tmp_path), n_runs=4, seed=1, artifacts=["fig5"],
+                resume=True)
+        assert json.load(open(str(tmp_path / "fig5.json"))) == first
+
+    def test_resume_against_different_seed_rejected(self, tmp_path):
+        run_all(str(tmp_path), n_runs=4, seed=1, artifacts=["fig5"])
+        with pytest.raises(HarnessError, match="resume"):
+            run_all(str(tmp_path), n_runs=4, seed=2, artifacts=["fig5"],
+                    resume=True)
 
     def test_unknown_artifact_rejected(self, tmp_path):
         with pytest.raises(HarnessError):

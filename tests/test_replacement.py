@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.errors import MemoryError_
+from repro.errors import MemorySystemError
 from repro.memory.replacement import (
     FifoPolicy,
     LruPolicy,
@@ -75,9 +75,9 @@ class TestFactory:
         assert isinstance(make_policy(name, 4), cls)
 
     def test_unknown_policy(self):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemorySystemError):
             make_policy("plru", 4)
 
     def test_zero_ways_rejected(self):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemorySystemError):
             LruPolicy(0)

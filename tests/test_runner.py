@@ -1,0 +1,319 @@
+"""Tests for the resilient executor (retry, watchdog, adaptive paths)."""
+
+import pytest
+
+from repro.core.channels import ChannelType
+from repro.core.variants import TrainTestAttack
+from repro.errors import (
+    BudgetExceededError,
+    SimulationError,
+    StatsError,
+)
+from repro.harness.experiment import run_cell
+from repro.harness.faults import FaultInjector, FaultProfile
+from repro.harness.runner import (
+    AdaptivePolicy,
+    CellClassification,
+    ExecutionPolicy,
+    ResilientExecutor,
+    RetryPolicy,
+    reseed,
+)
+
+
+class FakeResult:
+    def __init__(self, pvalue, cycles=0.0):
+        self.pvalue = pvalue
+        self.cycles = cycles
+
+
+class TestReseed:
+    def test_attempt_zero_is_base_seed(self):
+        assert reseed(42, 0) == 42
+
+    def test_attempts_derive_distinct_seeds(self):
+        seeds = [reseed(42, attempt) for attempt in range(5)]
+        assert len(set(seeds)) == 5
+
+    def test_deterministic(self):
+        assert reseed(7, 3) == reseed(7, 3)
+
+
+class TestPolicies:
+    def test_retry_policy_validation(self):
+        from repro.errors import HarnessError
+        with pytest.raises(HarnessError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(HarnessError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(backoff_base=0.5, backoff_factor=2.0)
+        assert policy.backoff_before(0) == 0.0
+        assert policy.backoff_before(1) == 0.5
+        assert policy.backoff_before(3) == 2.0
+
+    def test_adaptive_band(self):
+        adaptive = AdaptivePolicy()
+        assert adaptive.inconclusive(0.05)
+        assert adaptive.inconclusive(0.03)
+        assert not adaptive.inconclusive(0.001)
+        assert not adaptive.inconclusive(0.5)
+
+    def test_adaptive_validation(self):
+        from repro.errors import HarnessError
+        with pytest.raises(HarnessError):
+            AdaptivePolicy(band_low=0.2, band_high=0.1)
+
+
+class TestRetryPath:
+    def test_clean_first_attempt(self):
+        executor = ResilientExecutor()
+        cell = executor.supervise(
+            "c", lambda seed, n: FakeResult(0.5), seed=3, n_runs=10
+        )
+        assert cell.classification is CellClassification.CLEAN
+        assert cell.result.pvalue == 0.5
+        assert [a.seed for a in cell.attempts] == [3]
+
+    def test_retry_after_errors_reseeds(self):
+        calls = []
+
+        def flaky(seed, n):
+            calls.append(seed)
+            if len(calls) < 3:
+                raise StatsError("empty sample")
+            return FakeResult(0.9)
+
+        executor = ResilientExecutor(
+            ExecutionPolicy(retry=RetryPolicy(max_retries=3))
+        )
+        cell = executor.supervise("c", flaky, seed=5, n_runs=10)
+        assert cell.classification is CellClassification.RETRIED
+        assert len(cell.attempts) == 3
+        assert cell.attempts[0].error_type == "StatsError"
+        assert cell.attempts[2].error is None
+        assert len(set(calls)) == 3  # every retry used a fresh seed
+
+    def test_gives_up_after_max_retries(self):
+        def always_fails(seed, n):
+            raise StatsError("nope")
+
+        executor = ResilientExecutor(
+            ExecutionPolicy(retry=RetryPolicy(max_retries=2))
+        )
+        cell = executor.supervise("c", always_fails, seed=0, n_runs=10)
+        assert cell.classification is CellClassification.FAILED
+        assert cell.result is None
+        assert len(cell.attempts) == 3
+
+    def test_fail_fast_reraises(self):
+        def always_fails(seed, n):
+            raise StatsError("nope")
+
+        executor = ResilientExecutor(
+            ExecutionPolicy(retry=RetryPolicy(max_retries=0), fail_fast=True)
+        )
+        with pytest.raises(StatsError):
+            executor.supervise("c", always_fails, seed=0, n_runs=10)
+
+    def test_backoff_slept_and_recorded(self):
+        slept = []
+
+        def flaky(seed, n):
+            if not slept:
+                raise StatsError("once")
+            return FakeResult(0.9)
+
+        executor = ResilientExecutor(
+            ExecutionPolicy(retry=RetryPolicy(max_retries=2,
+                                              backoff_base=0.25)),
+            sleep=slept.append,
+        )
+        cell = executor.supervise("c", flaky, seed=0, n_runs=10)
+        assert slept == [0.25]
+        assert cell.attempts[1].backoff_s == 0.25
+
+
+class TestAdaptiveRemeasurement:
+    def test_escalates_out_of_inconclusive_band(self):
+        seen = []
+
+        def experiment(seed, n):
+            seen.append((seed, n))
+            return FakeResult(0.06 if n == 10 else 0.001)
+
+        executor = ResilientExecutor(
+            ExecutionPolicy(adaptive=AdaptivePolicy())
+        )
+        cell = executor.supervise(
+            "c", experiment, seed=9, n_runs=10,
+            pvalue_of=lambda r: r.pvalue,
+        )
+        assert cell.classification is CellClassification.RETRIED
+        assert cell.escalations == 1
+        assert seen == [(9, 10), (9, 20)]  # same seed, doubled runs
+        assert cell.result.pvalue == 0.001
+
+    def test_still_inconclusive_is_degraded(self):
+        executor = ResilientExecutor(
+            ExecutionPolicy(adaptive=AdaptivePolicy(max_escalations=2))
+        )
+        cell = executor.supervise(
+            "c", lambda seed, n: FakeResult(0.05), seed=0, n_runs=4,
+            pvalue_of=lambda r: r.pvalue,
+        )
+        assert cell.classification is CellClassification.DEGRADED
+        assert cell.escalations == 2
+        assert cell.result is not None
+        assert "inconclusive" in cell.note
+
+    def test_conclusive_pvalue_never_escalates(self):
+        executor = ResilientExecutor(
+            ExecutionPolicy(adaptive=AdaptivePolicy())
+        )
+        cell = executor.supervise(
+            "c", lambda seed, n: FakeResult(0.0001), seed=0, n_runs=4,
+            pvalue_of=lambda r: r.pvalue,
+        )
+        assert cell.classification is CellClassification.CLEAN
+        assert cell.escalations == 0
+
+
+class TestCycleBudget:
+    def test_budget_exhausted_before_first_attempt_fails(self):
+        executor = ResilientExecutor(
+            ExecutionPolicy(cell_cycle_budget=0.0)
+        )
+        cell = executor.supervise(
+            "c", lambda seed, n: FakeResult(0.5), seed=0, n_runs=4,
+            cycles_of=lambda r: r.cycles,
+        )
+        assert cell.classification is CellClassification.FAILED
+        assert cell.attempts[0].error_type == "BudgetExceededError"
+
+    def test_budget_stops_escalation_with_degraded_result(self):
+        executor = ResilientExecutor(
+            ExecutionPolicy(
+                adaptive=AdaptivePolicy(),
+                cell_cycle_budget=100.0,
+            )
+        )
+        cell = executor.supervise(
+            "c", lambda seed, n: FakeResult(0.05, cycles=200.0),
+            seed=0, n_runs=4,
+            pvalue_of=lambda r: r.pvalue,
+            cycles_of=lambda r: r.cycles,
+        )
+        # The first result exists but the budget forbids re-measuring.
+        assert cell.classification is CellClassification.DEGRADED
+        assert cell.result is not None
+        assert cell.escalations == 0
+
+    def test_budget_error_not_retried(self):
+        calls = []
+
+        def fn(seed, n):
+            calls.append(seed)
+            raise BudgetExceededError("gone")
+
+        executor = ResilientExecutor(
+            ExecutionPolicy(retry=RetryPolicy(max_retries=5))
+        )
+        cell = executor.supervise("c", fn, seed=0, n_runs=4)
+        assert cell.classification is CellClassification.FAILED
+        assert len(calls) == 1
+
+
+class TestWatchdog:
+    def test_max_trial_cycles_aborts_runaway_simulation(self):
+        with pytest.raises(SimulationError):
+            run_cell(
+                TrainTestAttack(), ChannelType.TIMING_WINDOW, "lvp",
+                n_runs=2, seed=0, max_trial_cycles=10,
+            )
+
+    def test_supervised_watchdog_classifies_failed(self):
+        executor = ResilientExecutor(
+            ExecutionPolicy(retry=RetryPolicy(max_retries=0),
+                            max_trial_cycles=10)
+        )
+        cell = executor.run_cell_supervised(
+            "watchdog", TrainTestAttack(), ChannelType.TIMING_WINDOW,
+            "lvp", n_runs=2, seed=0,
+        )
+        assert cell.classification is CellClassification.FAILED
+        assert cell.attempts[0].error_type == "SimulationError"
+
+
+class TestInjectedFaultsEndToEnd:
+    def test_retry_after_injected_crash(self):
+        profile = FaultProfile(name="t", crash_cells=("doomed",))
+        executor = ResilientExecutor(
+            ExecutionPolicy(retry=RetryPolicy(max_retries=1)),
+            injector=FaultInjector(profile, seed=0),
+        )
+        cell = executor.run_cell_supervised(
+            "doomed", TrainTestAttack(), ChannelType.TIMING_WINDOW,
+            "lvp", n_runs=3, seed=1,
+        )
+        assert cell.classification is CellClassification.RETRIED
+        assert cell.result is not None
+        assert cell.attempts[0].error_type == "InjectedCrashError"
+        assert cell.attempts[1].error is None
+        # The recovery attempt ran under a fresh seed.
+        assert cell.attempts[1].seed != cell.attempts[0].seed
+
+    def test_total_sample_loss_raises_stats_error_then_fails(self):
+        profile = FaultProfile(name="t", sample_drop_rate=1.0)
+        executor = ResilientExecutor(
+            ExecutionPolicy(retry=RetryPolicy(max_retries=1)),
+            injector=FaultInjector(profile, seed=0),
+        )
+        cell = executor.run_cell_supervised(
+            "lossy", TrainTestAttack(), ChannelType.TIMING_WINDOW,
+            "lvp", n_runs=3, seed=1,
+        )
+        assert cell.classification is CellClassification.FAILED
+        assert all(a.error_type == "StatsError" for a in cell.attempts)
+
+    def test_partial_sample_loss_degrades(self):
+        profile = FaultProfile(name="t", sample_drop_rate=0.3)
+        executor = ResilientExecutor(
+            ExecutionPolicy(retry=RetryPolicy(max_retries=2)),
+            injector=FaultInjector(profile, seed=2),
+        )
+        cell = executor.run_cell_supervised(
+            "partial", TrainTestAttack(), ChannelType.TIMING_WINDOW,
+            "lvp", n_runs=8, seed=1,
+        )
+        assert cell.result is not None
+        assert cell.classification is CellClassification.DEGRADED
+        assert "survived fault injection" in cell.note
+
+    def test_vp_corruption_profile_still_yields_result(self):
+        profile = FaultProfile(name="t", vp_corrupt_rate=0.05)
+        executor = ResilientExecutor(
+            ExecutionPolicy(retry=RetryPolicy(max_retries=2)),
+            injector=FaultInjector(profile, seed=0),
+        )
+        cell = executor.run_cell_supervised(
+            "corrupt", TrainTestAttack(), ChannelType.TIMING_WINDOW,
+            "lvp", n_runs=3, seed=1,
+        )
+        assert cell.result is not None
+        # The reported predictor name survives the corruption wrapper.
+        assert cell.result.predictor_name == "lvp"
+
+
+class TestExecutionRecord:
+    def test_record_carries_classification_and_attempts(self):
+        executor = ResilientExecutor()
+        cell = executor.supervise(
+            "c", lambda seed, n: FakeResult(0.4), seed=1, n_runs=6
+        )
+        record = cell.execution_record()
+        assert record["classification"] == "clean"
+        assert record["final_seed"] == 1
+        assert record["final_n_runs"] == 6
+        assert len(record["attempts"]) == 1

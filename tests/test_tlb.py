@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import MemoryError_
+from repro.errors import MemorySystemError
 from repro.memory.tlb import Tlb
 
 
@@ -66,13 +66,13 @@ class TestFlush:
 
 class TestValidation:
     def test_rejects_zero_entries(self):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemorySystemError):
             Tlb(entries=0)
 
     def test_rejects_bad_page_size(self):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemorySystemError):
             Tlb(page_size=1000)
 
     def test_rejects_negative_walk(self):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemorySystemError):
             Tlb(walk_latency=-1)
