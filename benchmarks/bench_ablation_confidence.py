@@ -7,6 +7,10 @@ every threshold — a higher confidence only raises the attacker's
 training cost (more accesses per trial), it is not a defense.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full regeneration; excluded from the quick CI pass
+
 from repro.core.attack import AttackConfig, AttackRunner
 from repro.core.channels import ChannelType
 from repro.core.variants import SpillOverAttack, TrainTestAttack

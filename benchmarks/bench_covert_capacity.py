@@ -7,6 +7,10 @@ single-bit leaks.  This bench measures the VPS as an engineered
 symbol error rate as memory noise grows.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full regeneration; excluded from the quick CI pass
+
 from repro.core.covert import CovertChannel, CovertChannelConfig
 from repro.memory.hierarchy import MemoryConfig
 from repro.memory.memsys import DramConfig

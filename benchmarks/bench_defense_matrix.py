@@ -14,6 +14,10 @@ fixed-value reading of the paper's A-type fully equalises the two
 hypotheses.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full regeneration; excluded from the quick CI pass
+
 from repro.core.attack import AttackConfig, AttackRunner
 from repro.core.channels import ChannelType
 from repro.core.variants import (

@@ -16,6 +16,10 @@ Methodology notes:
   meaningful against the best attack it must defeat.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full regeneration; excluded from the quick CI pass
+
 from repro.core.variants import TestHitAttack, TrainTestAttack
 from repro.harness import render_defense_sweep, window_sweep
 from repro.pipeline.config import CoreConfig

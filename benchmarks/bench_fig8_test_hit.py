@@ -4,6 +4,10 @@ Paper values: pvalue = 0.2630 (TW no VP), 0.0072 (TW LVP), 0.6111
 (persistent no VP), 0.0000 (persistent LVP).
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full regeneration; excluded from the quick CI pass
+
 from repro.harness import figure8_panels, figure_report
 
 from benchmarks.conftest import run_once

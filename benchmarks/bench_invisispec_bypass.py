@@ -11,6 +11,10 @@ attack still works, because it measures execution latency, not cache
 state.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full regeneration; excluded from the quick CI pass
+
 from repro.core.attack import AttackConfig, AttackRunner
 from repro.core.channels import ChannelType
 from repro.core.variants import ALL_VARIANTS, TestHitAttack

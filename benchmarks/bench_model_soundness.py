@@ -13,6 +13,10 @@ means Table II's 12 survivors, and only they, produce the claimed
 observable signals in real (simulated) hardware.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full regeneration; excluded from the quick CI pass
+
 from repro.core.model import all_combos
 from repro.core.synthesis import check_soundness
 

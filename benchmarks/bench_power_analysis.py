@@ -8,6 +8,10 @@ the paper's choice — 100 runs detects every category with a wide
 margin — and quantifies how loud each attack's signal is.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full regeneration; excluded from the quick CI pass
+
 import statistics
 
 from repro.core.attack import AttackConfig, AttackRunner

@@ -6,6 +6,10 @@ model, and the predictors.  Unlike the experiment benches, these use
 pytest-benchmark's normal multi-round timing.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full regeneration; excluded from the quick CI pass
+
 import random
 
 from repro.isa.builder import ProgramBuilder

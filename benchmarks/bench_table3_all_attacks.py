@@ -15,6 +15,10 @@ no-VP cell above, persistent channels only where Table II allows them,
 and transmission rates in the same single-digit-Kbps band.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full regeneration; excluded from the quick CI pass
+
 from repro.core.model import AttackCategory
 from repro.harness import table3_report, table3_results
 

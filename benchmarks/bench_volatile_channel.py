@@ -10,6 +10,10 @@ window senses the trigger's (possibly replayed) transient multiply
 burst.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full regeneration; excluded from the quick CI pass
+
 from repro.core.attack import AttackConfig, AttackRunner
 from repro.core.channels import ChannelType
 from repro.core.variants import FillUpAttack, TestHitAttack, TrainTestAttack

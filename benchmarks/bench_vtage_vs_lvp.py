@@ -7,6 +7,10 @@ paper's oracle configuration (predictions restricted to the target
 load), plus a stride predictor as an extension.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full regeneration; excluded from the quick CI pass
+
 from repro.core.attack import AttackConfig, AttackRunner
 from repro.core.channels import ChannelType
 from repro.core.variants import TestHitAttack, TrainTestAttack

@@ -1,0 +1,15 @@
+; Persistent-channel trigger gadget: encode the loaded value into the
+; cache state.
+;
+; The secret-marked load's value selects which line of a probe array
+; gets touched (value * 64 spreads candidates across lines).  A later
+; probe pass (probe.asm) recovers the value from which line is warm.
+; The secret -> address flow is exactly what the static taint pass
+; reports for this program.
+
+.tag trigger-load
+.secret
+        load  r1, [0x300]       ; secret value
+        mul   r2, r1, 64        ; one cache line per candidate value
+        load  r3, [r2+0x800]    ; encode: secret selects the probed line
+        halt

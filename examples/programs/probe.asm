@@ -1,0 +1,14 @@
+; Probe gadget: time candidate lines of the probe array.
+;
+; After encode_trigger.asm ran, exactly one candidate line is warm;
+; its timed load completes faster than the others.  Each RDTSC pair
+; brackets one candidate so the windows can be compared.
+
+        rdtsc r8
+        load  r1, [0x800]       ; candidate value 0
+        rdtsc r9
+
+        rdtsc r10
+        load  r2, [0x840]       ; candidate value 1
+        rdtsc r11
+        halt

@@ -1,0 +1,13 @@
+; Timing-window trigger gadget: measure how fast one load retires.
+;
+; The RDTSC pair brackets a single tagged trigger load.  When a
+; trainer (train.asm) has pushed the predictor entry for this address
+; past the confidence threshold, the load's value is predicted and the
+; dependent add issues early: the window closes measurably sooner.
+
+        rdtsc r8                ; open the timing window
+.tag trigger-load
+        load  r1, [0x200]
+        add   r2, r1, 1         ; dependent use: stalls iff no prediction
+        rdtsc r9                ; close the timing window
+        halt

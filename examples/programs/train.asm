@@ -1,0 +1,13 @@
+; Trainer gadget: establish a confident LVP entry at a pinned PC.
+;
+; The loop re-executes the same load PC, so a PC-indexed value
+; predictor sees the same (pc, value) pair six times and crosses the
+; confidence threshold.  Pairs with timed_trigger.asm, which probes
+; the entry this program trains.
+
+.pin 0x40
+.loop 6
+.tag train-load
+        load  r1, [0x200]       ; same PC and value every iteration
+.endloop
+        halt

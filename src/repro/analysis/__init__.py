@@ -1,0 +1,66 @@
+"""Static analysis of attack programs (no simulation required).
+
+Because :mod:`repro.isa` programs are straight-line with all loop trip
+counts and secrets resolved at build time, every leakage-relevant
+property is statically decidable.  This package exploits that with
+four passes:
+
+* :mod:`repro.analysis.taint` — forward dataflow over registers and
+  memory, tracking values derived from secret-marked loads and
+  flagging secret-to-address flows (persistent-channel encodes) and
+  secret-to-timing-window flows;
+* :mod:`repro.analysis.vpstate` — abstract interpretation of the
+  Value Prediction System under a configurable index function,
+  computing which indices a program sequence trains, evicts or
+  collides on;
+* :mod:`repro.analysis.classify` — maps a captured (trainer,
+  modifier, trigger) program triple onto the Table I action
+  vocabulary and checks it against the Table II reduction rules of
+  :mod:`repro.core.model`;
+* :mod:`repro.analysis.preflight` — the harness-facing lint: every
+  sweep cell is validated before any simulation budget is spent,
+  raising :class:`~repro.errors.AnalysisError` on contradictions.
+
+:mod:`repro.analysis.codelint` is separate: an AST-based determinism
+lint over the reproduction's own Python sources.
+"""
+
+from repro.analysis.capture import (
+    CapturedTrial,
+    CaptureCore,
+    CaptureMemory,
+    capture_variant,
+)
+from repro.analysis.classify import StaticClassification, classify_cell
+from repro.analysis.preflight import (
+    PreflightReport,
+    gadget_corpus,
+    lint_paths,
+    lint_program,
+    preflight_cell,
+)
+from repro.analysis.taint import TaintReport, analyze_taint
+from repro.analysis.vpstate import (
+    PredictionOutcome,
+    TriggerEvent,
+    VpsAbstractMachine,
+)
+
+__all__ = [
+    "CaptureCore",
+    "CaptureMemory",
+    "CapturedTrial",
+    "PredictionOutcome",
+    "PreflightReport",
+    "StaticClassification",
+    "TaintReport",
+    "TriggerEvent",
+    "VpsAbstractMachine",
+    "analyze_taint",
+    "capture_variant",
+    "classify_cell",
+    "gadget_corpus",
+    "lint_paths",
+    "lint_program",
+    "preflight_cell",
+]

@@ -1,0 +1,166 @@
+"""Program capture: run a variant against a recording core.
+
+The attack variants of :mod:`repro.core.variants` are written against
+the :class:`~repro.core.attack.TrialEnv` interface — they build their
+programs at run time and hand them to ``env.core.run``.  To analyse
+those programs *statically* we execute the variant once against a
+:class:`CaptureCore` that records every program instead of simulating
+it, fabricating just enough of a :class:`~repro.pipeline.trace.RunResult`
+(zeroed RDTSC readings, empty load events) for the variant's decode
+arithmetic to proceed.  Capturing costs microseconds and zero
+simulated cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.attack import TrialEnv
+from repro.core.channels import ChannelType
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program
+from repro.pipeline.trace import RunResult
+from repro.workloads.gadgets import Layout
+
+
+@dataclass(frozen=True)
+class CapturedProgram:
+    """One program handed to the core, in submission order."""
+
+    program: Program
+    concurrent: bool = False
+
+
+class CaptureMemory:
+    """Records architectural writes instead of performing them."""
+
+    def __init__(self) -> None:
+        self.writes: Dict[Tuple[int, int], int] = {}
+
+    def write_value(self, pid: int, addr: int, value: int) -> None:
+        """Record ``mem[pid, addr] = value``."""
+        self.writes[(pid, addr)] = value
+
+
+def _fabricate_result(program: Program) -> RunResult:
+    """A placeholder run result that satisfies the decode arithmetic.
+
+    RDTSC readings are all zero (one per dynamic RDTSC instance, so
+    pairings line up), which makes every timing delta zero — the
+    variants only *compute* with the values, they never branch on
+    them.
+    """
+    trace = program.dynamic_trace()
+    rdtsc_values = [
+        (placed.pc, 0)
+        for placed in trace
+        if placed.instruction.op is Opcode.RDTSC
+    ]
+    return RunResult(
+        program_name=program.name,
+        pid=program.pid,
+        start_cycle=0,
+        end_cycle=1,
+        retired=len(trace),
+        squashes=0,
+        rdtsc_values=rdtsc_values,
+    )
+
+
+class CaptureCore:
+    """A drop-in ``core`` for :class:`TrialEnv` that records programs."""
+
+    def __init__(self) -> None:
+        self.captured: List[CapturedProgram] = []
+        #: Mirrors ``Core.cycle``; capturing spends no simulated time.
+        self.cycle = 0
+
+    def run(self, program: Program) -> RunResult:
+        """Record ``program`` and return a fabricated result."""
+        self.captured.append(CapturedProgram(program))
+        return _fabricate_result(program)
+
+    def run_concurrent(self, programs: Sequence[Program]) -> List[RunResult]:
+        """Record concurrently-submitted programs, preserving order."""
+        results = []
+        for program in programs:
+            self.captured.append(CapturedProgram(program, concurrent=True))
+            results.append(_fabricate_result(program))
+        return results
+
+
+@dataclass
+class CapturedTrial:
+    """Everything one hypothesis run of a variant did, statically.
+
+    Attributes:
+        programs: The programs submitted, in order.
+        values: Architectural writes the variant performed before and
+            between programs, as ``(pid, addr) -> value``.
+        layout: The address/PC plan the programs were built against.
+        mapped: Which secret hypothesis was captured.
+    """
+
+    programs: List[CapturedProgram] = field(default_factory=list)
+    values: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    layout: Layout = field(default_factory=Layout)
+    mapped: bool = True
+
+    def program_named(self, name: str) -> Optional[Program]:
+        """The captured program called ``name``, if any."""
+        for captured in self.programs:
+            if captured.program.name == name:
+                return captured.program
+        return None
+
+    @property
+    def program_names(self) -> List[str]:
+        """Names of the captured programs, in submission order."""
+        return [captured.program.name for captured in self.programs]
+
+
+def capture_variant(
+    variant,
+    channel: ChannelType,
+    mapped: bool,
+    *,
+    confidence: int = 4,
+    chain_length: Optional[int] = None,
+    modify_mode: str = "retrain",
+    layout: Optional[Layout] = None,
+) -> CapturedTrial:
+    """Capture the programs one trial of ``variant`` would run.
+
+    Args:
+        variant: An :class:`~repro.core.variants.AttackVariant`.
+        channel: The encode/decode channel of the cell.
+        mapped: The secret hypothesis to capture.
+        confidence: VPS confidence threshold (affects train counts).
+        chain_length: Trigger window length; ``None`` uses the
+            variant's default.
+        modify_mode: ``"retrain"`` or ``"invalidate"``.
+        layout: Address/PC plan; default :class:`Layout`.
+    """
+    layout = layout or Layout()
+    core = CaptureCore()
+    memory = CaptureMemory()
+    env = TrialEnv(
+        core=core,
+        memory=memory,
+        layout=layout,
+        confidence=confidence,
+        channel=channel,
+        chain_length=(
+            chain_length if chain_length is not None
+            else variant.default_chain_length
+        ),
+        modify_mode=modify_mode,
+    )
+    variant.run(env, mapped)
+    return CapturedTrial(
+        programs=core.captured,
+        values=memory.writes,
+        layout=layout,
+        mapped=mapped,
+    )

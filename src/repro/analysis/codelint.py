@@ -1,0 +1,227 @@
+"""AST-based determinism lint over the reproduction's own sources.
+
+Every result in this repository must be a pure function of
+``(config, seed)`` — that is what makes the checkpoint-resume layer's
+byte-identical-artifact guarantee possible and the paper's numbers
+reproducible.  Three classes of code break that property silently:
+
+``unseeded-random``
+    Use of the process-global RNG (``random.random()``,
+    ``random.Random()`` with no seed, ``numpy.random.*``).  All
+    randomness must flow through a ``random.Random(seed)`` instance
+    derived from the experiment seed.
+``wall-clock``
+    Reading host time (``time.time``, ``perf_counter``,
+    ``datetime.now``...).  Simulated time is the only clock
+    measurements may consult; host time differs across runs.
+``raw-artifact-write``
+    Opening files for writing (or ``Path.write_text``) outside the
+    atomic-write helpers of :mod:`repro.harness.checkpoint`.  A crash
+    mid-write leaves a torn artifact that resume would then trust.
+
+A finding can be suppressed in place with a pragma comment naming the
+rule on the offending line::
+
+    t0 = time.perf_counter()  # lint: allow(wall-clock)
+
+:func:`lint_code` scans ``src/`` and ``benchmarks/`` by default and is
+wired into CI through ``repro lint --code``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+#: Module-level functions of ``random`` that use the global RNG.
+_GLOBAL_RANDOM_FUNCS = frozenset({
+    "random", "randint", "randrange", "randbytes", "getrandbits",
+    "choice", "choices", "shuffle", "sample", "uniform", "triangular",
+    "betavariate", "expovariate", "gammavariate", "gauss",
+    "lognormvariate", "normalvariate", "vonmisesvariate",
+    "paretovariate", "weibullvariate",
+})
+
+#: Attribute calls that read the host clock.
+_WALL_CLOCK = frozenset({
+    ("time", "time"), ("time", "time_ns"),
+    ("time", "perf_counter"), ("time", "perf_counter_ns"),
+    ("time", "monotonic"), ("time", "monotonic_ns"),
+    ("time", "process_time"), ("time", "process_time_ns"),
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+    ("date", "today"),
+})
+
+#: Files allowed to perform raw writes: the atomic-write helpers
+#: themselves live here.
+_WRITE_ALLOWLIST = ("harness/checkpoint.py",)
+
+#: Write modes of ``open`` that create or mutate files.
+_WRITE_MODES = frozenset("wax")
+
+
+@dataclass(frozen=True)
+class CodeLintIssue:
+    """One determinism-lint finding."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def describe(self) -> str:
+        """Human-readable one-liner (grep-style location prefix)."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _call_target(node: ast.Call) -> Tuple[Optional[str], Optional[str]]:
+    """(base name, attribute) of an attribute call, e.g. ``time.time``.
+
+    For chained attributes (``numpy.random.rand``) the base is the
+    *innermost* attribute's printable chain tail (``random``) with the
+    full chain checked separately; plain name calls return
+    ``(None, name)``.
+    """
+    func = node.func
+    if isinstance(func, ast.Name):
+        return None, func.id
+    if isinstance(func, ast.Attribute):
+        value = func.value
+        if isinstance(value, ast.Name):
+            return value.id, func.attr
+        if isinstance(value, ast.Attribute):
+            return value.attr, func.attr
+        # Method call on an arbitrary expression (a call result, a
+        # subscript...): no base name, but the attribute still matters
+        # for attribute-only rules like write_text/write_bytes.
+        return None, func.attr
+    return None, None
+
+
+def _is_numpy_random(node: ast.Call) -> bool:
+    """True for ``numpy.random.<anything>(...)`` / ``np.random...``."""
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Attribute)
+        and func.value.attr == "random"
+        and isinstance(func.value.value, ast.Name)
+        and func.value.value.id in ("numpy", "np")
+    )
+
+
+def _open_write_mode(node: ast.Call) -> Optional[str]:
+    """The write mode string of an ``open`` call, or ``None``."""
+    mode_node: Optional[ast.expr] = None
+    if len(node.args) >= 2:
+        mode_node = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode_node = keyword.value
+    if mode_node is None:
+        return None
+    if isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str):
+        if any(ch in _WRITE_MODES for ch in mode_node.value):
+            return mode_node.value
+    return None
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str, check_writes: bool) -> None:
+        self.path = path
+        self.check_writes = check_writes
+        self.issues: List[CodeLintIssue] = []
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        self.issues.append(
+            CodeLintIssue(rule, self.path, node.lineno, message)
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        base, attr = _call_target(node)
+        if base == "random" and attr in _GLOBAL_RANDOM_FUNCS:
+            self._flag(
+                node, "unseeded-random",
+                f"random.{attr}() uses the process-global RNG; draw from "
+                "a random.Random(seed) instance derived from the "
+                "experiment seed",
+            )
+        elif base == "random" and attr == "Random" and not node.args:
+            self._flag(
+                node, "unseeded-random",
+                "random.Random() with no seed is time-seeded; pass an "
+                "explicit seed",
+            )
+        elif _is_numpy_random(node):
+            self._flag(
+                node, "unseeded-random",
+                "numpy.random.* uses numpy's global RNG; use a seeded "
+                "generator",
+            )
+        elif (base, attr) in _WALL_CLOCK:
+            self._flag(
+                node, "wall-clock",
+                f"{base}.{attr}() reads the host clock; measurements "
+                "must use simulated time only",
+            )
+        elif self.check_writes:
+            if base is None and attr == "open":
+                mode = _open_write_mode(node)
+                if mode is not None:
+                    self._flag(
+                        node, "raw-artifact-write",
+                        f"open(..., {mode!r}) bypasses the atomic-write "
+                        "helpers; use repro.harness.checkpoint."
+                        "atomic_write_text/atomic_write_json",
+                    )
+            elif attr in ("write_text", "write_bytes"):
+                self._flag(
+                    node, "raw-artifact-write",
+                    f".{attr}() bypasses the atomic-write helpers; use "
+                    "repro.harness.checkpoint.atomic_write_text/"
+                    "atomic_write_json",
+                )
+        self.generic_visit(node)
+
+
+def _suppressed(source_lines: Sequence[str], issue: CodeLintIssue) -> bool:
+    """Does the flagged line carry a ``# lint: allow(<rule>)`` pragma?"""
+    if not 1 <= issue.line <= len(source_lines):
+        return False
+    line = source_lines[issue.line - 1]
+    return f"lint: allow({issue.rule})" in line
+
+
+def lint_file(path: Union[str, Path]) -> List[CodeLintIssue]:
+    """Lint one Python source file."""
+    path = Path(path)
+    rel = path.as_posix()
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=rel)
+    except SyntaxError as exc:
+        return [CodeLintIssue(
+            "syntax-error", rel, exc.lineno or 0, str(exc.msg)
+        )]
+    check_writes = not rel.endswith(_WRITE_ALLOWLIST)
+    visitor = _Visitor(rel, check_writes)
+    visitor.visit(tree)
+    lines = source.splitlines()
+    return [i for i in visitor.issues if not _suppressed(lines, i)]
+
+
+def lint_code(
+    roots: Iterable[Union[str, Path]] = ("src", "benchmarks"),
+) -> List[CodeLintIssue]:
+    """Lint every ``.py`` file under the given roots."""
+    issues: List[CodeLintIssue] = []
+    for root in roots:
+        root = Path(root)
+        if root.is_file():
+            issues.extend(lint_file(root))
+            continue
+        for path in sorted(root.rglob("*.py")):
+            issues.extend(lint_file(path))
+    return issues

@@ -1,0 +1,256 @@
+"""Human-readable and JSON renderings of static-analysis results.
+
+Three consumers:
+
+* ``repro analyze <program.asm>`` — :func:`program_payload` /
+  :func:`render_program_analysis` describe one program's taint flows,
+  timing windows and lint findings;
+* ``repro lint`` — :func:`render_lint_reports` /
+  :func:`render_code_issues` summarise a corpus lint run;
+* ``repro report <dir>`` — :func:`agreement_rows` /
+  :func:`render_agreement` read the artifact JSON written by
+  :func:`repro.harness.persistence.run_all` and show, per sweep cell,
+  whether the *static* Table II classification agreed with the
+  *dynamic* p-value verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.codelint import CodeLintIssue
+from repro.analysis.preflight import PreflightReport, lint_program
+from repro.analysis.taint import analyze_taint
+from repro.analysis.vpstate import VpsAbstractMachine
+from repro.isa.program import Program
+
+
+# ----------------------------------------------------------------------
+# Single-program analysis (repro analyze)
+# ----------------------------------------------------------------------
+
+def program_payload(
+    program: Program,
+    *,
+    confidence_threshold: int = 4,
+) -> Dict[str, object]:
+    """Full JSON-serialisable analysis of one program."""
+    taint = analyze_taint(program)
+    machine = VpsAbstractMachine(confidence_threshold=confidence_threshold)
+    events = machine.execute(program, {})
+    lint = lint_program(program, confidence_threshold=confidence_threshold)
+    return {
+        "program": program.name,
+        "instructions": len(program.instructions),
+        "dynamic_length": len(program.dynamic_trace()),
+        "loads": [
+            {
+                "pc": load.pc,
+                "addr": load.addr,
+                "tag": load.tag,
+                "secret": load.secret,
+                "tainted": load.tainted,
+            }
+            for load in taint.loads
+        ],
+        "address_flows": [
+            {"pc": flow.pc, "op": flow.op}
+            for flow in taint.address_flows
+        ],
+        "windows": [
+            {
+                "start_pc": window.start_pc,
+                "stop_pc": window.stop_pc,
+                "instructions": window.instructions,
+                "has_load": window.has_load,
+                "tainted": window.tainted,
+            }
+            for window in taint.windows
+        ],
+        "vps_events": [
+            {
+                "pc": event.pc,
+                "index": event.index,
+                "outcome": event.outcome.value,
+                "tag": event.tag,
+            }
+            for event in events
+        ],
+        "issues": lint.to_payload()["issues"],
+        "ok": lint.ok,
+    }
+
+
+def render_program_analysis(payload: Dict[str, object]) -> str:
+    """Human-readable rendering of :func:`program_payload`."""
+    lines = [
+        f"program {payload['program']}: "
+        f"{payload['instructions']} instructions "
+        f"({payload['dynamic_length']} dynamic)",
+    ]
+    loads = payload["loads"]
+    lines.append(f"  loads: {len(loads)}")
+    for load in loads:
+        marks = []
+        if load["secret"]:
+            marks.append("secret")
+        if load["tainted"]:
+            marks.append("tainted")
+        if load["tag"]:
+            marks.append(load["tag"])
+        addr = "?" if load["addr"] is None else f"{load['addr']:#x}"
+        suffix = f"  [{', '.join(marks)}]" if marks else ""
+        lines.append(f"    pc {load['pc']:#x} <- mem[{addr}]{suffix}")
+    flows = payload["address_flows"]
+    if flows:
+        lines.append(f"  secret->address flows: {len(flows)}")
+        for flow in flows:
+            lines.append(f"    {flow['op']} at pc {flow['pc']:#x}")
+    windows = payload["windows"]
+    if windows:
+        lines.append(f"  timing windows: {len(windows)}")
+        for window in windows:
+            traits = []
+            if window["has_load"]:
+                traits.append("load")
+            if window["tainted"]:
+                traits.append("tainted")
+            lines.append(
+                f"    {window['start_pc']:#x}..{window['stop_pc']:#x}: "
+                f"{window['instructions']} instructions"
+                + (f" ({', '.join(traits)})" if traits else "")
+            )
+    if payload["ok"]:
+        lines.append("  lint: clean")
+    else:
+        lines.append("  lint:")
+        for issue in payload["issues"]:
+            lines.append(f"    [{issue['rule']}] {issue['message']}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Corpus lint rendering (repro lint)
+# ----------------------------------------------------------------------
+
+def render_lint_reports(reports: Sequence[PreflightReport]) -> str:
+    """One line per subject, grep-style lines per issue."""
+    lines = []
+    failed = 0
+    for report in reports:
+        if report.ok:
+            lines.append(f"ok       {report.subject}")
+        else:
+            failed += 1
+            lines.append(f"FAILED   {report.subject}")
+            for issue in report.issues:
+                lines.append(f"         {issue.describe()}")
+    lines.append(
+        f"{len(reports) - failed}/{len(reports)} subjects clean"
+    )
+    return "\n".join(lines)
+
+
+def render_code_issues(issues: Sequence[CodeLintIssue]) -> str:
+    """Grep-style rendering of determinism-lint findings."""
+    if not issues:
+        return "code lint: clean"
+    lines = [issue.describe() for issue in issues]
+    lines.append(f"code lint: {len(issues)} issue(s)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Static/dynamic agreement (repro report)
+# ----------------------------------------------------------------------
+
+def _record_rows(cell_name: str, record) -> List[Dict[str, object]]:
+    if not isinstance(record, dict) or "pvalue" not in record:
+        return []
+    static = record.get("static")
+    static_effective: Optional[bool] = None
+    symbol = ""
+    if isinstance(static, dict):
+        classification = static.get("classification") or {}
+        static_effective = classification.get("effective")
+        symbol = classification.get("symbol", "")
+    predictor = record.get("predictor", "")
+    dynamic = bool(record.get("effective"))
+    if static_effective is None:
+        agree: Optional[bool] = None
+    else:
+        # Static analysis predicts the *attack* works; a control cell
+        # (no predictor) is expected to show nothing either way.
+        predicted = static_effective and predictor not in ("none", "")
+        agree = predicted == dynamic
+    return [{
+        "cell": cell_name,
+        "variant": record.get("variant", ""),
+        "channel": record.get("channel", ""),
+        "predictor": predictor,
+        "symbol": symbol,
+        "static_effective": static_effective,
+        "dynamic_effective": dynamic,
+        "pvalue": record.get("pvalue"),
+        "agree": agree,
+    }]
+
+
+def agreement_rows(artifacts: Dict[str, Dict]) -> List[Dict[str, object]]:
+    """Flatten artifact JSON payloads into agreement rows.
+
+    Accepts the parsed contents of ``fig5.json`` / ``fig8.json``
+    (``"panels"``) and ``table3.json`` (``"cells"``), keyed by
+    artifact name.
+    """
+    rows: List[Dict[str, object]] = []
+    for artifact, payload in sorted(artifacts.items()):
+        if not isinstance(payload, dict):
+            continue
+        for title, record in payload.get("panels", {}).items():
+            rows.extend(_record_rows(f"{artifact}/{title}", record))
+        for category, cells in payload.get("cells", {}).items():
+            if not isinstance(cells, dict):
+                continue
+            for key, record in cells.items():
+                rows.extend(_record_rows(
+                    f"{artifact}/{category}/{key}", record
+                ))
+    return rows
+
+
+def render_agreement(rows: Sequence[Dict[str, object]]) -> str:
+    """Tabular static-vs-dynamic agreement report."""
+    if not rows:
+        return "no supervised cells with results found"
+    lines = [
+        f"{'cell':58s} {'static':8s} {'dynamic':8s} {'p-value':>9s} agree",
+    ]
+    agreed = disagreed = unknown = 0
+    for row in rows:
+        static = row["static_effective"]
+        static_text = "?" if static is None else (
+            "attack" if static else "no-attk"
+        )
+        dynamic_text = "attack" if row["dynamic_effective"] else "no-attk"
+        pvalue = row["pvalue"]
+        pvalue_text = "" if pvalue is None else f"{pvalue:9.4f}"
+        agree = row["agree"]
+        if agree is None:
+            agree_text = "n/a"
+            unknown += 1
+        elif agree:
+            agree_text = "yes"
+            agreed += 1
+        else:
+            agree_text = "NO"
+            disagreed += 1
+        lines.append(
+            f"{row['cell']:58.58s} {static_text:8s} {dynamic_text:8s} "
+            f"{pvalue_text:>9s} {agree_text}"
+        )
+    lines.append(
+        f"{agreed} agree, {disagreed} disagree, {unknown} without "
+        "static record"
+    )
+    return "\n".join(lines)

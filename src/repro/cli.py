@@ -10,6 +10,9 @@ Examples::
     python -m repro sweep --variant "Test + Hit" --windows 1,2,4,6,8,9,10
     python -m repro attack --variant "Spill Over" --defense "A[fixed]+D"
     python -m repro speedup
+    python -m repro analyze examples/programs/timed_trigger.asm
+    python -m repro lint --code
+    python -m repro report --dir out
 """
 
 from __future__ import annotations
@@ -189,6 +192,111 @@ def _cmd_all(args: argparse.Namespace) -> None:
         print(f"{name}: {path}")
 
 
+def _cmd_analyze(args: argparse.Namespace) -> None:
+    import json
+
+    from repro.analysis.report import (
+        program_payload, render_program_analysis,
+    )
+    from repro.isa.assembler import assemble
+
+    try:
+        source = open(args.program).read()
+    except OSError as error:
+        raise ReproError(f"cannot read {args.program!r}: {error}") from None
+    import os
+    program = assemble(
+        source, name=os.path.splitext(os.path.basename(args.program))[0]
+    )
+    payload = program_payload(
+        program, confidence_threshold=args.confidence
+    )
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_program_analysis(payload))
+    if not payload["ok"]:
+        raise ReproError(
+            f"{len(payload['issues'])} lint issue(s) in {args.program}"
+        )
+
+
+def _cmd_lint(args: argparse.Namespace) -> None:
+    import json
+    import os
+
+    from repro.analysis.codelint import lint_code
+    from repro.analysis.preflight import (
+        gadget_corpus, lint_paths, lint_program, preflight_cell,
+    )
+    from repro.analysis.report import (
+        render_code_issues, render_lint_reports,
+    )
+    from repro.core.variants import ALL_VARIANTS
+
+    reports = []
+    if not args.paths or args.gadgets:
+        for _, program in gadget_corpus():
+            report = lint_program(program)
+            report.subject = f"gadget:{program.name}"
+            reports.append(report)
+        for variant in ALL_VARIANTS:
+            for channel in variant.supported_channels:
+                reports.append(preflight_cell(variant, channel))
+        if os.path.isdir("examples/programs"):
+            reports.extend(lint_paths(["examples/programs"]))
+    if args.paths:
+        reports.extend(lint_paths(args.paths))
+
+    code_issues = lint_code() if args.code else []
+    if args.json:
+        print(json.dumps({
+            "subjects": [report.to_payload() for report in reports],
+            "code": [
+                {"rule": i.rule, "path": i.path, "line": i.line,
+                 "message": i.message}
+                for i in code_issues
+            ],
+        }, indent=2, sort_keys=True))
+    else:
+        if reports:
+            print(render_lint_reports(reports))
+        if args.code:
+            print(render_code_issues(code_issues))
+    failed = sum(1 for report in reports if not report.ok)
+    if failed or code_issues:
+        raise ReproError(
+            f"lint failed: {failed} subject(s), "
+            f"{len(code_issues)} code issue(s)"
+        )
+
+
+def _cmd_report(args: argparse.Namespace) -> None:
+    import json
+    import os
+
+    from repro.analysis.report import agreement_rows, render_agreement
+
+    artifacts = {}
+    for name in ("fig5", "fig8", "table3"):
+        path = os.path.join(args.dir, f"{name}.json")
+        if os.path.isfile(path):
+            with open(path) as handle:
+                artifacts[name] = json.load(handle)
+    if not artifacts:
+        raise ReproError(
+            f"no artifact JSON (fig5/fig8/table3) found in {args.dir!r}; "
+            "run 'repro all --out <dir>' first"
+        )
+    rows = agreement_rows(artifacts)
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        print(render_agreement(rows))
+    if any(row["agree"] is False for row in rows):
+        raise ReproError("static/dynamic disagreement detected")
+
+
 def _cmd_speedup(args: argparse.Namespace) -> None:
     from repro.memory.hierarchy import MemorySystem, MemoryConfig
     from repro.memory.memsys import DramConfig
@@ -283,6 +391,43 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--median-seeds", type=int, default=5,
                        help="seeds per window; the median p-value is used")
     sweep.set_defaults(func=_cmd_sweep)
+
+    analyze = sub.add_parser(
+        "analyze", help="statically analyze one attack program (.asm)"
+    )
+    analyze.add_argument("program", help="path to an .asm source file")
+    analyze.add_argument("--confidence", type=int, default=4,
+                         help="VPS confidence threshold for the analysis")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the full analysis as JSON")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    lint = sub.add_parser(
+        "lint",
+        help="lint attack programs (and, with --code, the codebase)",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help=".asm files or directories; default lints the built-in "
+             "gadgets, all sweep cells and examples/programs",
+    )
+    lint.add_argument(
+        "--gadgets", action="store_true",
+        help="also lint the built-in corpus when paths are given",
+    )
+    lint.add_argument("--code", action="store_true",
+                      help="run the determinism lint over src/ and "
+                           "benchmarks/")
+    lint.add_argument("--json", action="store_true")
+    lint.set_defaults(func=_cmd_lint)
+
+    report = sub.add_parser(
+        "report", help="static/dynamic agreement for a 'repro all' run"
+    )
+    report.add_argument("--dir", required=True,
+                        help="output directory of a previous 'repro all'")
+    report.add_argument("--json", action="store_true")
+    report.set_defaults(func=_cmd_report)
 
     sub.add_parser(
         "speedup", help="value-prediction performance benefit"

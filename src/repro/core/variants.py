@@ -98,6 +98,7 @@ class AttackVariant(abc.ABC):
         trigger_base_pc: int,
         trigger_pc: int,
         trigger_addr: int,
+        secret: bool = False,
     ) -> float:
         """Run the trigger concurrently with a multiplier-port probe.
 
@@ -109,7 +110,7 @@ class AttackVariant(abc.ABC):
         """
         trigger = gadgets.mul_burst_trigger_program(
             "vol-trigger", trigger_pid, trigger_base_pc,
-            trigger_pc, trigger_addr,
+            trigger_pc, trigger_addr, secret=secret,
         )
         probe = gadgets.mul_probe_program(
             "vol-probe", env.layout.receiver_pid, env.layout.probe_base_pc,
@@ -247,6 +248,7 @@ class TestHitAttack(AttackVariant):
         env.core.run(gadgets.train_program(
             "th-train", layout.sender_pid, layout.sender_base_pc,
             layout.collide_pc, layout.secret_addr, env.confidence,
+            secret=True,
         ))
 
         # 3) Trigger by the receiver at the same index.
@@ -303,6 +305,7 @@ class TrainHitAttack(AttackVariant):
         result = env.core.run(gadgets.plain_trigger_program(
             "trh-trigger", layout.sender_pid, layout.sender_base_pc,
             layout.collide_pc, layout.secret_addr, env.chain_length,
+            secret=True,
         ))
         return float(result.cycles)
 
@@ -337,14 +340,17 @@ class SpillOverAttack(AttackVariant):
             env.core.run(gadgets.train_program(
                 "so-train", layout.sender_pid, layout.sender_base_pc,
                 layout.collide_pc, layout.secret_addr, env.confidence - 1,
+                secret=True,
             ))
         env.core.run(gadgets.train_program(
             "so-modify", layout.sender_pid, layout.sender_base_pc,
             layout.collide_pc, layout.secret_addr2, 1, tag="modify-load",
+            secret=True,
         ))
         result = env.core.run(gadgets.plain_trigger_program(
             "so-trigger", layout.sender_pid, layout.sender_base_pc,
             layout.collide_pc, layout.secret_addr, env.chain_length,
+            secret=True,
         ))
         return float(result.cycles)
 
@@ -390,11 +396,13 @@ class FillUpAttack(AttackVariant):
         env.core.run(gadgets.train_program(
             "fu-train", layout.sender_pid, layout.sender_base_pc,
             layout.collide_pc, layout.secret_addr, env.confidence,
+            secret=True,
         ))
         if env.channel is ChannelType.TIMING_WINDOW:
             result = env.core.run(gadgets.plain_trigger_program(
                 "fu-trigger", layout.sender_pid, layout.sender_base_pc,
                 layout.collide_pc, layout.secret_addr2, env.chain_length,
+                secret=True,
             ))
             return float(result.cycles)
         if env.channel is ChannelType.VOLATILE:
@@ -402,12 +410,13 @@ class FillUpAttack(AttackVariant):
             # receiver's co-running probe senses the extra pressure.
             return self._volatile_trial(
                 env, layout.sender_pid, layout.sender_base_pc,
-                layout.collide_pc, layout.secret_addr2,
+                layout.collide_pc, layout.secret_addr2, secret=True,
             )
         env.core.run(gadgets.encode_trigger_program(
             "fu-trigger", layout.sender_pid, layout.sender_base_pc,
             layout.collide_pc, layout.secret_addr2, layout,
             flush_lines=[self.guess_value, VALUE_SECRET_OTHER, VALUE_NEUTRAL],
+            secret=True,
         ))
         return self._probe_line_latency(env, self.guess_value)
 
@@ -442,6 +451,7 @@ class ModifyTestAttack(AttackVariant):
         env.core.run(gadgets.train_program(
             "mt-train", layout.sender_pid, layout.sender_base_pc,
             sender_pc, layout.secret_addr, env.confidence,
+            secret=True,
         ))
         count = env.retrain_count if env.modify_mode == "retrain" else 1
         env.core.run(gadgets.train_program(
@@ -452,6 +462,7 @@ class ModifyTestAttack(AttackVariant):
         result = env.core.run(gadgets.plain_trigger_program(
             "mt-trigger", layout.sender_pid, layout.sender_base_pc,
             sender_pc, layout.secret_addr, env.chain_length,
+            secret=True,
         ))
         return float(result.cycles)
 

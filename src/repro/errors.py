@@ -52,6 +52,16 @@ class AttackError(ReproError):
     """Raised for invalid attack specifications."""
 
 
+class AnalysisError(ReproError):
+    """Raised when static analysis finds a contradiction in a program.
+
+    The preflight analyzer (:mod:`repro.analysis`) raises this before
+    an experiment cell spends any simulation budget — e.g. for an
+    unreachable timing window, an untrained trigger index, or a
+    persistent-channel cell with no secret-to-address flow.
+    """
+
+
 class ModelError(ReproError):
     """Raised for invalid attack-model queries."""
 

@@ -110,12 +110,20 @@ def rsa_record(
 
 
 def cell_record(cell: Optional[SupervisedCell]) -> Optional[Dict[str, object]]:
-    """Artifact record for one supervised cell (``None`` for no-cell)."""
+    """Artifact record for one supervised cell (``None`` for no-cell).
+
+    The record carries the cell's static preflight classification
+    (``"static"``) next to the dynamic p-value verdict, so ``repro
+    report`` can show static/dynamic agreement per cell.
+    """
     if cell is None:
         return None
     if cell.result is None:
-        return {"execution": cell.execution_record()}
-    return experiment_record(cell.result, cell.execution_record())
+        return {"execution": cell.execution_record(),
+                "static": cell.preflight}
+    record = experiment_record(cell.result, cell.execution_record())
+    record["static"] = cell.preflight
+    return record
 
 
 def save_json(path: str, payload: object) -> None:

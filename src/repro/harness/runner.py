@@ -150,6 +150,12 @@ class ExecutionPolicy:
             attempts; exceeding it raises
             :class:`~repro.errors.BudgetExceededError`.
         fail_fast: Re-raise instead of recording a ``failed`` cell.
+        preflight: Statically validate each cell with
+            :func:`repro.analysis.preflight.preflight_cell` before its
+            first attempt, raising
+            :class:`~repro.errors.AnalysisError` on contradictions so
+            no simulation budget is spent on a doomed cell.  Cached
+            (resumed) cells are never re-analysed.
     """
 
     retry: RetryPolicy = field(default_factory=RetryPolicy)
@@ -157,6 +163,7 @@ class ExecutionPolicy:
     max_trial_cycles: Optional[int] = None
     cell_cycle_budget: Optional[float] = None
     fail_fast: bool = False
+    preflight: bool = True
 
     @classmethod
     def compat(cls) -> "ExecutionPolicy":
@@ -221,6 +228,10 @@ class SupervisedCell:
     attempts: List[AttemptRecord] = field(default_factory=list)
     escalations: int = 0
     note: str = ""
+    #: Static preflight classification payload
+    #: (:meth:`repro.analysis.preflight.PreflightReport.to_payload`),
+    #: journaled with the cell so resumed runs stay byte-identical.
+    preflight: Optional[Dict[str, object]] = None
 
     @property
     def final_attempt(self) -> Optional[AttemptRecord]:
@@ -251,6 +262,7 @@ class SupervisedCell:
                 serialize_result(self.result)
                 if self.result is not None else None
             ),
+            "preflight": self.preflight,
         }
 
     @classmethod
@@ -271,6 +283,7 @@ class SupervisedCell:
             ],
             escalations=int(execution.get("escalations", 0)),
             note=str(execution.get("note", "")),
+            preflight=payload.get("preflight"),
         )
 
 
@@ -300,6 +313,7 @@ class ResilientExecutor:
         pvalue_of: Optional[Callable[[object], float]] = None,
         cycles_of: Optional[Callable[[object], float]] = None,
         degraded_note: Optional[Callable[[object], Optional[str]]] = None,
+        preflight: Optional[Dict[str, object]] = None,
     ) -> SupervisedCell:
         """Run one cell under the policy; never raises unless fail_fast.
 
@@ -315,6 +329,8 @@ class ResilientExecutor:
                 (enables the per-cell budget).
             degraded_note: Returns a reason string when the result is
                 usable but degraded (e.g. samples lost to faults).
+            preflight: Static-classification payload to attach to (and
+                journal with) the cell.
         """
         if self.store is not None and self.store.has(cell_id):
             return SupervisedCell.from_payload(self.store.load(cell_id))
@@ -358,7 +374,7 @@ class ResilientExecutor:
                 attempts.append(record)
                 return self._conclude(
                     cell_id, None, CellClassification.FAILED, attempts,
-                    escalations, str(error), error,
+                    escalations, str(error), error, preflight,
                 )
             except ReproError as error:
                 record.error = str(error)
@@ -370,6 +386,7 @@ class ResilientExecutor:
                         cell_id, None, CellClassification.FAILED, attempts,
                         escalations,
                         f"gave up after {failures} failed attempts", error,
+                        preflight,
                     )
                 attempt += 1
                 continue
@@ -405,7 +422,7 @@ class ResilientExecutor:
                 )
                 return self._conclude(
                     cell_id, result, CellClassification.DEGRADED,
-                    attempts, escalations, note, None,
+                    attempts, escalations, note, None, preflight,
                 )
             break
 
@@ -417,7 +434,7 @@ class ResilientExecutor:
             classification = CellClassification.CLEAN
         return self._conclude(
             cell_id, result, classification, attempts, escalations, note,
-            None,
+            None, preflight,
         )
 
     def _conclude(
@@ -429,6 +446,7 @@ class ResilientExecutor:
         escalations: int,
         note: str,
         error: Optional[BaseException],
+        preflight: Optional[Dict[str, object]] = None,
     ) -> SupervisedCell:
         cell = SupervisedCell(
             cell_id=cell_id,
@@ -437,6 +455,7 @@ class ResilientExecutor:
             attempts=attempts,
             escalations=escalations,
             note=note,
+            preflight=preflight,
         )
         if classification is CellClassification.FAILED:
             if self.policy.fail_fast and error is not None:
@@ -459,8 +478,21 @@ class ResilientExecutor:
         seed: int = 0,
         **overrides,
     ) -> SupervisedCell:
-        """Supervised version of :func:`repro.harness.experiment.run_cell`."""
+        """Supervised version of :func:`repro.harness.experiment.run_cell`.
+
+        When :attr:`ExecutionPolicy.preflight` is set (the default),
+        the cell is first validated statically — an
+        :class:`~repro.errors.AnalysisError` aborts the cell before any
+        simulation budget is spent.  Cells already present in the
+        checkpoint store skip the analysis (their journaled payload,
+        including the stored preflight record, is reused verbatim so
+        resumed artifacts stay byte-identical).
+        """
         from repro.harness.experiment import run_cell
+
+        preflight_payload = self._preflight_payload(
+            cell_id, variant, channel, predictor, overrides
+        )
 
         injector = self.injector
         requested_runs = n_runs
@@ -525,7 +557,43 @@ class ResilientExecutor:
                 * len(result.comparison.mapped)
             ),
             degraded_note=degraded_note,
+            preflight=preflight_payload,
         )
+
+    def _preflight_payload(
+        self,
+        cell_id: str,
+        variant: AttackVariant,
+        channel: ChannelType,
+        predictor: str,
+        overrides: Dict[str, object],
+    ) -> Optional[Dict[str, object]]:
+        """Statically validate a cell about to run for the first time.
+
+        Raises:
+            AnalysisError: When the static analyzer finds a
+                contradiction (via
+                :meth:`~repro.analysis.preflight.PreflightReport.raise_if_failed`).
+        """
+        if not self.policy.preflight:
+            return None
+        if self.store is not None and self.store.has(cell_id):
+            return None
+        from repro.analysis.preflight import preflight_cell
+
+        kwargs: Dict[str, object] = {}
+        for key in ("confidence", "chain_length", "modify_mode", "layout"):
+            if overrides.get(key) is not None:
+                kwargs[key] = overrides[key]
+        predictor_name = (
+            predictor if isinstance(predictor, str)
+            else getattr(predictor, "__name__", "custom")
+        )
+        report = preflight_cell(
+            variant, channel, predictor=predictor_name, **kwargs
+        )
+        report.raise_if_failed()
+        return report.to_payload()
 
     def run_rsa_supervised(
         self,

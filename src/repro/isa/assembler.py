@@ -9,6 +9,8 @@ Syntax (one statement per line; ``;`` and ``#`` start comments)::
     .pin 0x40               ; pad with nops so next instruction is at PC 0x40
     .loop 4                 ; open a counted loop (same PCs each iteration)
     .endloop                ; close the innermost loop
+    .tag trigger-load       ; annotate the next instruction with a tag
+    .secret                 ; mark the next load as secret (taint source)
     nop
     li    r1, 0x100
     add   r2, r1, r3        ; register form
@@ -106,6 +108,9 @@ def assemble(
     """
     builder = ProgramBuilder(name=name, pid=pid, base_pc=base_pc)
     open_loops: List[object] = []
+    pending_tag: Optional[str] = None
+    pending_secret = False
+    pending_line = 0
 
     for line_number, raw_line in enumerate(source.splitlines(), start=1):
         line = raw_line.split(";")[0].split("#")[0].strip()
@@ -122,25 +127,50 @@ def assemble(
         rest = parts[1] if len(parts) > 1 else ""
         operands = _split_operands(rest)
 
+        if mnemonic == ".tag":
+            _require(operands, 1, line_number, mnemonic)
+            pending_tag = operands[0]
+            pending_line = line_number
+            continue
+        if mnemonic == ".secret":
+            _require(operands, 0, line_number, mnemonic)
+            pending_secret = True
+            pending_line = line_number
+            continue
         if mnemonic == ".pin":
             _require(operands, 1, line_number, mnemonic)
             builder.pin_pc(_parse_int(operands[0], line_number))
+            continue
         elif mnemonic == ".loop":
             _require(operands, 1, line_number, mnemonic)
             context = builder.loop(_parse_int(operands[0], line_number))
             context.__enter__()
             open_loops.append(context)
+            continue
         elif mnemonic == ".endloop":
             if not open_loops:
                 raise AssemblyError(f"line {line_number}: .endloop without .loop")
             open_loops.pop().__exit__(None, None, None)
-        elif mnemonic == "nop":
-            builder.nop()
+            continue
+
+        # Pending .tag/.secret annotations attach to the next *instruction*
+        # (directives above pass through without consuming them).
+        if pending_secret and mnemonic != "load":
+            raise AssemblyError(
+                f"line {pending_line}: .secret must be followed by a load, "
+                f"got {mnemonic!r}"
+            )
+        tag, pending_tag = pending_tag, None
+        secret, pending_secret = pending_secret, False
+
+        if mnemonic == "nop":
+            builder.nop(tag=tag)
         elif mnemonic == "li":
             _require(operands, 2, line_number, mnemonic)
             builder.li(
                 _parse_register(operands[0], line_number),
                 _parse_int(operands[1], line_number),
+                tag=tag,
             )
         elif mnemonic in _ALU_MNEMONICS:
             _require(operands, 3, line_number, mnemonic)
@@ -148,29 +178,31 @@ def assemble(
             src1 = _parse_register(operands[1], line_number)
             if _REG_RE.match(operands[2]):
                 builder.alu(_ALU_MNEMONICS[mnemonic], dst, src1,
-                            src2=_parse_register(operands[2], line_number))
+                            src2=_parse_register(operands[2], line_number),
+                            tag=tag)
             else:
                 builder.alu(_ALU_MNEMONICS[mnemonic], dst, src1,
-                            imm=_parse_int(operands[2], line_number))
+                            imm=_parse_int(operands[2], line_number),
+                            tag=tag)
         elif mnemonic == "load":
             _require(operands, 2, line_number, mnemonic)
             dst = _parse_register(operands[0], line_number)
             base, offset = _parse_memory_operand(operands[1], line_number)
-            builder.load(dst, base=base, imm=offset)
+            builder.load(dst, base=base, imm=offset, tag=tag, secret=secret)
         elif mnemonic == "store":
             _require(operands, 2, line_number, mnemonic)
             base, offset = _parse_memory_operand(operands[0], line_number)
             data = _parse_register(operands[1], line_number)
-            builder.store(data, base=base, imm=offset)
+            builder.store(data, base=base, imm=offset, tag=tag)
         elif mnemonic == "flush":
             _require(operands, 1, line_number, mnemonic)
             base, offset = _parse_memory_operand(operands[0], line_number)
-            builder.flush(base=base, imm=offset)
+            builder.flush(base=base, imm=offset, tag=tag)
         elif mnemonic == "fence":
-            builder.fence()
+            builder.fence(tag=tag)
         elif mnemonic == "rdtsc":
             _require(operands, 1, line_number, mnemonic)
-            builder.rdtsc(_parse_register(operands[0], line_number))
+            builder.rdtsc(_parse_register(operands[0], line_number), tag=tag)
         elif mnemonic == "halt":
             builder.halt()
         else:
@@ -178,6 +210,14 @@ def assemble(
                 f"line {line_number}: unknown mnemonic {mnemonic!r}"
             )
 
+    if pending_secret:
+        raise AssemblyError(
+            f"line {pending_line}: .secret at end of source with no load"
+        )
+    if pending_tag is not None:
+        raise AssemblyError(
+            f"line {pending_line}: .tag at end of source with no instruction"
+        )
     if open_loops:
         raise AssemblyError("unterminated .loop block at end of source")
     return builder.build()

@@ -168,9 +168,12 @@ class ProgramBuilder:
         base: Optional[int] = None,
         imm: int = 0,
         tag: Optional[str] = None,
+        secret: bool = False,
     ) -> "ProgramBuilder":
-        """Emit a load."""
-        return self.emit(ins.load(dst, base=base, imm=imm, tag=tag))
+        """Emit a load (``secret=True`` marks it for the static analyzer)."""
+        return self.emit(
+            ins.load(dst, base=base, imm=imm, tag=tag, secret=secret)
+        )
 
     def store(
         self,

@@ -96,6 +96,11 @@ class Instruction:
         tag: Optional free-form annotation used by attack tooling to
             identify interesting instructions in traces (e.g.
             ``"trigger-load"``).
+        secret: Marks a LOAD whose result is derived from a secret.
+            Purely static metadata: the pipeline ignores it, but the
+            static analyzer (:mod:`repro.analysis`) uses it as a taint
+            source for secret-to-address and secret-to-timing-window
+            flow detection.
     """
 
     op: Opcode
@@ -105,12 +110,18 @@ class Instruction:
     imm: int = 0
     alu_op: Optional[AluOp] = None
     tag: Optional[str] = None
+    secret: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.op, Opcode):
             raise IsaError(f"op must be an Opcode, got {self.op!r}")
         if not isinstance(self.imm, int) or isinstance(self.imm, bool):
             raise IsaError(f"imm must be an int, got {self.imm!r}")
+        if self.secret and self.op is not Opcode.LOAD:
+            raise IsaError(
+                f"only LOAD instructions can be marked secret, "
+                f"got {self.op.value}"
+            )
         validator = _VALIDATORS[self.op]
         validator(self)
 
@@ -287,9 +298,16 @@ def load(
     base: Optional[int] = None,
     imm: int = 0,
     tag: Optional[str] = None,
+    secret: bool = False,
 ) -> Instruction:
-    """A load ``dst = mem[base + imm]`` (``base=None`` means address ``imm``)."""
-    return Instruction(Opcode.LOAD, dst=dst, src1=base, imm=imm, tag=tag)
+    """A load ``dst = mem[base + imm]`` (``base=None`` means address ``imm``).
+
+    ``secret=True`` marks the loaded value as secret-derived for the
+    static analyzer; execution is unaffected.
+    """
+    return Instruction(
+        Opcode.LOAD, dst=dst, src1=base, imm=imm, tag=tag, secret=secret
+    )
 
 
 def store(

@@ -97,6 +97,7 @@ def train_program(
     addr: int,
     count: int,
     tag: str = "train-load",
+    secret: bool = False,
 ) -> Program:
     """A train loop: ``count`` times ``flush(addr); fence; load addr``.
 
@@ -105,7 +106,8 @@ def train_program(
     confidence accumulates at one index.  The flush forces each
     iteration to miss, engaging the load-based VPS per the threat
     model; the trailing fence keeps iterations from overlapping so the
-    training count is exact.
+    training count is exact.  ``secret=True`` marks the trained load
+    as a taint source for the static analyzer.
     """
     if count < 1:
         raise AttackError(f"train count must be >= 1, got {count}")
@@ -114,7 +116,7 @@ def train_program(
     with builder.loop(count):
         builder.flush(imm=addr)
         builder.fence()
-        builder.load(REG_LOADED, imm=addr, tag=tag)
+        builder.load(REG_LOADED, imm=addr, tag=tag, secret=secret)
         builder.fence()
     return builder.build()
 
@@ -127,6 +129,7 @@ def timed_trigger_program(
     addr: int,
     chain_length: int,
     tag: str = "trigger-load",
+    secret: bool = False,
 ) -> Program:
     """An RDTSC-bracketed trigger: the timing-window channel.
 
@@ -149,7 +152,7 @@ def timed_trigger_program(
     builder.rdtsc(REG_T1, tag="t1")
     builder.fence()
     builder.pin_pc(load_pc)
-    builder.load(REG_LOADED, imm=addr, tag=tag)
+    builder.load(REG_LOADED, imm=addr, tag=tag, secret=secret)
     builder.dependent_chain(chain_length, dst=REG_CHAIN, src=REG_LOADED)
     builder.fence()
     builder.rdtsc(REG_T2, tag="t2")
@@ -164,6 +167,7 @@ def plain_trigger_program(
     addr: int,
     chain_length: int,
     tag: str = "trigger-load",
+    secret: bool = False,
 ) -> Program:
     """A trigger without RDTSC, for internal-interference attacks.
 
@@ -176,7 +180,7 @@ def plain_trigger_program(
     builder.flush(imm=addr)
     builder.fence()
     builder.pin_pc(load_pc)
-    builder.load(REG_LOADED, imm=addr, tag=tag)
+    builder.load(REG_LOADED, imm=addr, tag=tag, secret=secret)
     builder.dependent_chain(chain_length, dst=REG_CHAIN, src=REG_LOADED)
     builder.fence()
     return builder.build()
@@ -191,6 +195,7 @@ def encode_trigger_program(
     layout: Layout,
     flush_lines: Sequence[int],
     tag: str = "trigger-load",
+    secret: bool = False,
 ) -> Program:
     """A trigger whose value transiently indexes the probe array.
 
@@ -211,7 +216,7 @@ def encode_trigger_program(
     builder.flush(imm=addr)
     builder.fence()
     builder.pin_pc(load_pc)
-    builder.load(REG_LOADED, imm=addr, tag=tag)
+    builder.load(REG_LOADED, imm=addr, tag=tag, secret=secret)
     builder.shl(REG_SHIFTED, REG_LOADED, layout.probe_stride_shift)
     builder.load(
         REG_ENCODED, base=REG_SHIFTED, imm=layout.probe_base, tag="encode-load"
@@ -262,6 +267,7 @@ def mul_burst_trigger_program(
     addr: int,
     burst: int = 64,
     tag: str = "trigger-load",
+    secret: bool = False,
 ) -> Program:
     """A trigger whose dependents saturate the multiplier port.
 
@@ -282,7 +288,7 @@ def mul_burst_trigger_program(
     builder.flush(imm=addr)
     builder.fence()
     builder.pin_pc(load_pc)
-    builder.load(REG_LOADED, imm=addr, tag=tag)
+    builder.load(REG_LOADED, imm=addr, tag=tag, secret=secret)
     for index in range(burst):
         destination = 8 + (index % 20)
         builder.mul(destination, REG_LOADED, imm=3, tag="mul-burst")

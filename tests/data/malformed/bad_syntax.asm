@@ -1,0 +1,4 @@
+; Malformed: does not assemble.
+; Expected lint finding: syntax-error.
+
+        bogus r1, r2

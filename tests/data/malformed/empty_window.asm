@@ -1,0 +1,7 @@
+; Malformed: an RDTSC pair with nothing between it measures only
+; measurement overhead.
+; Expected lint finding: empty-window.
+
+        rdtsc r8
+        rdtsc r9
+        halt

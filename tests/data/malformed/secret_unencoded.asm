@@ -1,0 +1,9 @@
+; Malformed: the secret is loaded but its value reaches no sink -- no
+; address computation, no timed window, no later instruction reads the
+; destination register, and the predictor entry is never consulted
+; again.  The secret is read and then thrown away.
+; Expected lint finding: secret-unencoded.
+
+.secret
+        load  r1, [0x300]
+        halt

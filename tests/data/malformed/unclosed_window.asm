@@ -1,0 +1,6 @@
+; Malformed: a timing window is opened but never closed.
+; Expected lint finding: unclosed-window.
+
+        rdtsc r8
+        load  r1, [0x100]
+        halt

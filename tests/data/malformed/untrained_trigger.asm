@@ -1,0 +1,13 @@
+; Malformed: the trigger load sits at a different PC than the train
+; loop, so a PC-indexed predictor never has a confident entry for it
+; and no prediction can ever fire.
+; Expected lint finding: untrained-trigger.
+
+.pin 0x40
+.loop 6
+.tag train-load
+        load  r1, [0x200]
+.endloop
+.tag trigger-load
+        load  r2, [0x300]       ; wrong PC: this index was never trained
+        halt

@@ -1,0 +1,105 @@
+"""Unit tests for the static Table I/II classifier."""
+
+import pytest
+
+from repro.analysis.capture import capture_variant
+from repro.analysis.classify import classify_cell
+from repro.core.actions import Actor, Dimension, Knowledge
+from repro.core.channels import ChannelType
+from repro.core.model import Verdict
+from repro.core.variants import (
+    FillUpAttack,
+    ModifyTestAttack,
+    SpillOverAttack,
+    TestHitAttack,
+    TrainHitAttack,
+    TrainTestAttack,
+)
+from repro.errors import AttackError
+
+TW = ChannelType.TIMING_WINDOW
+
+
+#: Symbols the static classifier must derive, per variant (Table II).
+EXPECTED_SYMBOLS = [
+    (TrainTestAttack(), "(R^KI, S^SI', R^KI)"),
+    (TestHitAttack(), "(S^SD', —, R^KD)"),
+    (TrainHitAttack(), "(R^KD, —, S^SD')"),
+    (SpillOverAttack(), "(S^SD', S^SD'', S^SD')"),
+    (FillUpAttack(), "(S^SD', —, S^SD'')"),
+    (ModifyTestAttack(), "(S^SI', R^KI, S^SI')"),
+]
+
+
+@pytest.mark.parametrize(
+    "variant,symbol", EXPECTED_SYMBOLS, ids=lambda p: str(p)[:24]
+)
+def test_derived_symbols_match_table_ii(variant, symbol):
+    static = classify_cell(variant, TW)
+    assert static.combo.symbol == symbol
+    assert static.classification.verdict is Verdict.EFFECTIVE
+
+
+def test_presence_secret_derivation():
+    # Train + Test: the modify program exists under one hypothesis
+    # only -- secret INDEX by presence.
+    static = classify_cell(TrainTestAttack(), TW)
+    modify = next(s for s in static.steps if s.role == "modify")
+    assert "presence" in modify.reason or "one secret hypothesis" in modify.reason
+    assert modify.action.dimension is Dimension.INDEX
+    assert modify.action.knowledge is Knowledge.SECRET
+
+
+def test_pc_secret_derivation():
+    # Modify + Test: the tagged load is pinned at different PCs -- the
+    # PC itself is the secret (index dimension), not the data.
+    static = classify_cell(ModifyTestAttack(), TW)
+    train = next(s for s in static.steps if s.role == "train")
+    assert train.action.dimension is Dimension.INDEX
+    assert "PC" in train.reason
+
+
+def test_value_secret_derivation():
+    # Test + Hit: same program, same PC, different architectural value.
+    static = classify_cell(TestHitAttack(), TW)
+    train = next(s for s in static.steps if s.role == "train")
+    assert train.action.dimension is Dimension.DATA
+    assert "value differs" in train.reason
+
+
+def test_steps_carry_actor_attribution():
+    static = classify_cell(TrainHitAttack(), TW)
+    trigger = next(s for s in static.steps if s.role == "trigger")
+    # Train + Hit: the victim (sender) performs the secret trigger.
+    assert trigger.action.actor is Actor.SENDER
+
+
+def test_captures_are_attached():
+    static = classify_cell(TrainTestAttack(), TW)
+    assert static.mapped is not None and static.unmapped is not None
+    assert static.mapped.program_names != static.unmapped.program_names
+
+
+def test_unsupported_channel_raises():
+    # The capture replays the real variant code, so channel-support
+    # contracts surface as the variant's own AttackError.
+    with pytest.raises(AttackError):
+        classify_cell(SpillOverAttack(), ChannelType.PERSISTENT)
+
+
+def test_capture_variant_records_values():
+    trial = capture_variant(TrainTestAttack(), TW, mapped=True)
+    assert trial.programs
+    assert isinstance(trial.values, dict)
+    names = trial.program_names
+    assert len(names) == len(set(names))
+
+
+def test_payload_shape():
+    payload = classify_cell(FillUpAttack(), TW).to_payload()
+    assert payload["effective"] is True
+    assert payload["verdict"] == "effective"
+    assert {s["role"] for s in payload["steps"]} == {
+        "train", "modify", "trigger"
+    }
+    assert all("reason" in s and "action" in s for s in payload["steps"])

@@ -1,0 +1,76 @@
+"""CLI tests for the static-analysis commands (analyze/lint/report)."""
+
+import json
+import os
+
+from repro.cli import main
+from repro.harness.persistence import run_all
+
+
+class TestAnalyze:
+    def test_clean_program(self, capsys):
+        assert main(["analyze", "examples/programs/timed_trigger.asm"]) == 0
+        out = capsys.readouterr().out
+        assert "timed_trigger" in out
+        assert "lint: clean" in out
+
+    def test_malformed_program_fails(self, capsys):
+        assert main(
+            ["analyze", "tests/data/malformed/secret_unencoded.asm"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "secret-unencoded" in captured.out
+        assert "error" in captured.err
+
+    def test_json_output(self, capsys):
+        assert main(
+            ["analyze", "examples/programs/encode_trigger.asm", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["address_flows"]
+
+    def test_missing_file(self, capsys):
+        assert main(["analyze", "no/such/file.asm"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestLint:
+    def test_default_corpus_passes(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "subjects clean" in out
+        assert "gadget:train" in out
+
+    def test_malformed_corpus_fails(self, capsys):
+        assert main(["lint", "tests/data/malformed"]) == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.out
+        assert "0/5 subjects clean" in captured.out
+
+    def test_examples_pass(self, capsys):
+        assert main(["lint", "examples/programs"]) == 0
+        assert "FAILED" not in capsys.readouterr().out
+
+    def test_code_lint_clean_tree(self, capsys):
+        assert main(["lint", "--code"]) == 0
+        assert "code lint: clean" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        assert main(["lint", "examples/programs", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all(report["ok"] for report in payload["subjects"])
+
+
+class TestReport:
+    def test_agreement_report(self, tmp_path, capsys):
+        run_all(str(tmp_path), n_runs=60, seed=0, artifacts=["fig5"])
+        assert os.path.exists(tmp_path / "fig5.json")
+        assert main(["report", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "agree" in out
+        assert "0 disagree" in out
+
+    def test_empty_dir_fails(self, tmp_path, capsys):
+        assert main(["report", "--dir", str(tmp_path)]) == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,109 @@
+"""Unit tests for the AST determinism lint."""
+
+import textwrap
+
+from repro.analysis.codelint import lint_code, lint_file
+
+
+def _lint(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return lint_file(path)
+
+
+class TestUnseededRandom:
+    def test_global_rng_call(self, tmp_path):
+        issues = _lint(tmp_path, "import random\nx = random.random()\n")
+        assert [i.rule for i in issues] == ["unseeded-random"]
+        assert issues[0].line == 2
+
+    def test_unseeded_random_instance(self, tmp_path):
+        issues = _lint(tmp_path, "import random\nr = random.Random()\n")
+        assert [i.rule for i in issues] == ["unseeded-random"]
+
+    def test_seeded_random_instance_ok(self, tmp_path):
+        assert not _lint(
+            tmp_path, "import random\nr = random.Random(7)\nr.random()\n"
+        )
+
+    def test_numpy_global_rng(self, tmp_path):
+        issues = _lint(
+            tmp_path, "import numpy as np\nx = np.random.rand(3)\n"
+        )
+        assert [i.rule for i in issues] == ["unseeded-random"]
+
+
+class TestWallClock:
+    def test_time_time(self, tmp_path):
+        issues = _lint(tmp_path, "import time\nt = time.time()\n")
+        assert [i.rule for i in issues] == ["wall-clock"]
+
+    def test_perf_counter(self, tmp_path):
+        issues = _lint(tmp_path, "import time\nt = time.perf_counter()\n")
+        assert [i.rule for i in issues] == ["wall-clock"]
+
+    def test_datetime_now(self, tmp_path):
+        issues = _lint(
+            tmp_path,
+            "from datetime import datetime\nt = datetime.now()\n",
+        )
+        assert [i.rule for i in issues] == ["wall-clock"]
+
+
+class TestRawWrites:
+    def test_open_for_write(self, tmp_path):
+        issues = _lint(tmp_path, "f = open('x.json', 'w')\n")
+        assert [i.rule for i in issues] == ["raw-artifact-write"]
+
+    def test_open_mode_keyword(self, tmp_path):
+        issues = _lint(tmp_path, "f = open('x.json', mode='a')\n")
+        assert [i.rule for i in issues] == ["raw-artifact-write"]
+
+    def test_open_for_read_ok(self, tmp_path):
+        assert not _lint(tmp_path, "f = open('x.json')\n")
+        assert not _lint(tmp_path, "f = open('x.json', 'r')\n")
+
+    def test_write_text(self, tmp_path):
+        issues = _lint(
+            tmp_path,
+            "from pathlib import Path\nPath('x').write_text('y')\n",
+        )
+        assert [i.rule for i in issues] == ["raw-artifact-write"]
+
+    def test_checkpoint_module_allowlisted(self, tmp_path):
+        target = tmp_path / "harness" / "checkpoint.py"
+        target.parent.mkdir()
+        target.write_text("f = open('x.json', 'w')\n")
+        assert not lint_file(target)
+
+
+class TestPragmaAndErrors:
+    def test_pragma_suppresses(self, tmp_path):
+        source = (
+            "import time\n"
+            "t = time.time()  # lint: allow(wall-clock)\n"
+        )
+        assert not _lint(tmp_path, source)
+
+    def test_pragma_is_rule_specific(self, tmp_path):
+        source = (
+            "import time\n"
+            "t = time.time()  # lint: allow(unseeded-random)\n"
+        )
+        issues = _lint(tmp_path, source)
+        assert [i.rule for i in issues] == ["wall-clock"]
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        issues = _lint(tmp_path, "def broken(:\n")
+        assert [i.rule for i in issues] == ["syntax-error"]
+
+    def test_describe_is_grep_style(self, tmp_path):
+        issue = _lint(tmp_path, "import time\nt = time.time()\n")[0]
+        assert issue.describe().startswith(issue.path + ":2: [wall-clock]")
+
+
+def test_repository_tree_is_clean():
+    # The determinism property the lint enforces must actually hold
+    # for the codebase that ships it.
+    issues = lint_code(["src", "benchmarks"])
+    assert not issues, "\n".join(i.describe() for i in issues)

@@ -1,0 +1,172 @@
+"""Unit tests for the preflight lint rules and corpora."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.preflight import (
+    gadget_corpus,
+    lint_paths,
+    lint_program,
+    preflight_cell,
+)
+from repro.core.channels import ChannelType
+from repro.core.variants import TrainTestAttack
+from repro.errors import AnalysisError
+from repro.isa.assembler import assemble
+
+MALFORMED_DIR = Path("tests/data/malformed")
+EXAMPLES_DIR = Path("examples/programs")
+
+
+def _rules(report):
+    return sorted({issue.rule for issue in report.issues})
+
+
+class TestProgramRules:
+    def test_unclosed_window(self):
+        report = lint_program(assemble("rdtsc r8\nload r1, [0x100]\nhalt\n"))
+        assert _rules(report) == ["unclosed-window"]
+
+    def test_empty_window(self):
+        report = lint_program(assemble("rdtsc r8\nrdtsc r9\nhalt\n"))
+        assert _rules(report) == ["empty-window"]
+
+    def test_untrained_trigger(self):
+        report = lint_program(assemble(
+            """
+            .pin 0x40
+            .loop 6
+            .tag train-load
+            load r1, [0x200]
+            .endloop
+            .tag trigger-load
+            load r2, [0x300]
+            halt
+            """
+        ))
+        assert _rules(report) == ["untrained-trigger"]
+
+    def test_trained_trigger_is_clean(self):
+        # Trigger inside the train loop shares the PC: it predicts.
+        report = lint_program(assemble(
+            """
+            .pin 0x40
+            .loop 6
+            .tag trigger-load
+            load r1, [0x200]
+            .endloop
+            halt
+            """
+        ))
+        assert report.ok
+
+    def test_secret_unencoded(self):
+        report = lint_program(assemble(".secret\nload r1, [0x100]\nhalt\n"))
+        assert _rules(report) == ["secret-unencoded"]
+
+    def test_secret_with_address_sink_is_clean(self):
+        report = lint_program(assemble(
+            ".secret\nload r1, [0x100]\nload r2, [r1+0x800]\nhalt\n"
+        ))
+        assert report.ok
+
+    def test_secret_with_register_sink_is_clean(self):
+        report = lint_program(assemble(
+            ".secret\nload r1, [0x100]\nadd r2, r1, 1\nhalt\n"
+        ))
+        assert report.ok
+
+    def test_cell_events_count_as_sink(self):
+        # A secret load whose VPS entry is re-consulted by *another*
+        # program in the cell has a sink, even though locally unused.
+        program = assemble(
+            ".pin 0x40\n.secret\nload r1, [0x200]\nhalt\n", name="sender"
+        )
+        from repro.analysis.vpstate import VpsAbstractMachine
+        machine = VpsAbstractMachine(confidence_threshold=4)
+        machine.execute(program, {})
+        machine.execute(
+            assemble(".pin 0x40\nload r1, [0x200]\nhalt\n", name="probe"),
+            {},
+        )
+        alone = lint_program(program)
+        assert _rules(alone) == ["secret-unencoded"]
+        in_cell = lint_program(program, cell_events=machine.events)
+        assert in_cell.ok
+
+    def test_raise_if_failed(self):
+        report = lint_program(assemble("rdtsc r8\nhalt\n"))
+        with pytest.raises(AnalysisError, match="unclosed-window"):
+            report.raise_if_failed()
+        assert "issues" in report.to_payload()
+
+
+class TestCorpora:
+    def test_malformed_corpus_each_trips_its_rule(self):
+        expected = {
+            "bad_syntax.asm": "syntax-error",
+            "empty_window.asm": "empty-window",
+            "secret_unencoded.asm": "secret-unencoded",
+            "unclosed_window.asm": "unclosed-window",
+            "untrained_trigger.asm": "untrained-trigger",
+        }
+        reports = lint_paths([MALFORMED_DIR])
+        assert len(reports) == len(expected)
+        for report in reports:
+            name = Path(report.subject).name
+            assert not report.ok, report.subject
+            assert _rules(report) == [expected[name]], report.subject
+
+    def test_examples_are_clean(self):
+        reports = lint_paths([EXAMPLES_DIR])
+        assert len(reports) >= 4
+        for report in reports:
+            assert report.ok, "; ".join(
+                issue.describe() for issue in report.issues
+            )
+
+    def test_gadget_corpus_is_clean(self):
+        corpus = gadget_corpus()
+        assert len(corpus) >= 8
+        for name, program in corpus:
+            report = lint_program(program)
+            assert report.ok, (
+                name + ": "
+                + "; ".join(issue.describe() for issue in report.issues)
+            )
+
+
+class TestCellPreflight:
+    def test_classification_attached(self):
+        report = preflight_cell(
+            TrainTestAttack(), ChannelType.TIMING_WINDOW
+        )
+        assert report.ok
+        assert report.classification is not None
+        payload = report.to_payload()
+        assert payload["classification"]["effective"] is True
+
+    def test_control_cell_skips_vps_checks(self):
+        report = preflight_cell(
+            TrainTestAttack(), ChannelType.TIMING_WINDOW, predictor="none"
+        )
+        assert report.ok
+
+    def test_overrides_keep_cell_consistent(self):
+        # The workload generators scale training with the threshold,
+        # so a non-default confidence must still preflight clean and
+        # classify identically.
+        default = preflight_cell(TrainTestAttack(), ChannelType.TIMING_WINDOW)
+        tuned = preflight_cell(
+            TrainTestAttack(), ChannelType.TIMING_WINDOW, confidence=7
+        )
+        assert tuned.ok
+        assert (tuned.classification.combo.symbol
+                == default.classification.combo.symbol)
+
+    def test_subject_names_the_cell(self):
+        report = preflight_cell(
+            TrainTestAttack(), ChannelType.TIMING_WINDOW, predictor="lvp"
+        )
+        assert report.subject == "Train + Test / timing-window / lvp"

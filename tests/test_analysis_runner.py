@@ -1,0 +1,83 @@
+"""Preflight wiring into the resilient executor and persistence."""
+
+import pytest
+
+from repro.core.channels import ChannelType
+from repro.core.variants import TrainTestAttack
+from repro.errors import AnalysisError
+from repro.harness.checkpoint import CheckpointStore
+from repro.harness.persistence import cell_record
+from repro.harness.runner import (
+    ExecutionPolicy,
+    ResilientExecutor,
+    RetryPolicy,
+    SupervisedCell,
+)
+
+N_RUNS = 12
+CHANNEL = ChannelType.TIMING_WINDOW
+
+
+def _run(executor, cell_id="cell-a", predictor="lvp"):
+    return executor.run_cell_supervised(
+        cell_id, TrainTestAttack(), CHANNEL, predictor,
+        n_runs=N_RUNS, seed=1,
+    )
+
+
+class TestPreflightWiring:
+    def test_preflight_record_attached(self):
+        cell = _run(ResilientExecutor())
+        assert cell.preflight is not None
+        assert cell.preflight["ok"] is True
+        assert cell.preflight["classification"]["effective"] is True
+
+    def test_preflight_disabled_by_policy(self):
+        executor = ResilientExecutor(ExecutionPolicy(preflight=False))
+        cell = _run(executor)
+        assert cell.preflight is None
+
+    def test_payload_roundtrip_carries_preflight(self):
+        cell = _run(ResilientExecutor())
+        restored = SupervisedCell.from_payload(cell.to_payload())
+        assert restored.preflight == cell.preflight
+
+    def test_cell_record_exposes_static(self):
+        cell = _run(ResilientExecutor())
+        record = cell_record(cell)
+        assert record["static"] == cell.preflight
+        assert record["static"]["classification"]["symbol"]
+
+    def test_resume_reuses_journaled_preflight(self, tmp_path):
+        meta = {"v": 1}
+        store = CheckpointStore.open(str(tmp_path / "ckpt"), meta)
+        first = _run(ResilientExecutor(store=store))
+        assert first.preflight is not None
+
+        resumed_store = CheckpointStore.open(
+            str(tmp_path / "ckpt"), meta, resume=True
+        )
+        second = _run(ResilientExecutor(store=resumed_store))
+        assert second.to_payload() == first.to_payload()
+
+    def test_failed_preflight_aborts_before_simulation(self, monkeypatch):
+        from repro.analysis.preflight import LintIssue, PreflightReport
+
+        def broken_preflight(variant, channel, **kwargs):
+            return PreflightReport(
+                subject="broken",
+                issues=[LintIssue("indistinguishable", "forced", "broken")],
+            )
+
+        def no_sim(*args, **kwargs):  # pragma: no cover
+            raise AssertionError("simulation must not start")
+
+        monkeypatch.setattr(
+            "repro.analysis.preflight.preflight_cell", broken_preflight
+        )
+        monkeypatch.setattr("repro.harness.experiment.run_cell", no_sim)
+        executor = ResilientExecutor(
+            ExecutionPolicy(retry=RetryPolicy(max_retries=0))
+        )
+        with pytest.raises(AnalysisError, match="indistinguishable"):
+            _run(executor)

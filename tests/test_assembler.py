@@ -112,6 +112,86 @@ class TestErrors:
             assemble("li r1, zzz\n")
 
 
+class TestErrorMessages:
+    """Error paths must name the line and the offending token."""
+
+    def assert_message(self, source, fragment):
+        with pytest.raises(AssemblyError) as excinfo:
+            assemble(source)
+        assert fragment in str(excinfo.value), str(excinfo.value)
+
+    def test_unknown_mnemonic_names_token(self):
+        self.assert_message(
+            "nop\nbogus r1, r2\n", "line 2: unknown mnemonic 'bogus'"
+        )
+
+    def test_bad_register_names_token(self):
+        self.assert_message(
+            "li rx, 5\n", "line 1: expected register, got 'rx'"
+        )
+
+    def test_bad_integer_names_token(self):
+        self.assert_message(
+            "li r1, zzz\n", "line 1: expected integer, got 'zzz'"
+        )
+
+    def test_bad_memory_operand_shows_expected_form(self):
+        self.assert_message(
+            "load r1, 0x40\n",
+            "line 1: expected memory operand like [r1+0x40], got '0x40'",
+        )
+
+    def test_operand_count_reports_expectation(self):
+        self.assert_message(
+            "nop\nli r1\n", "line 2: li expects 2 operand(s), got 1"
+        )
+        self.assert_message(
+            "add r1, r2\n", "line 1: add expects 3 operand(s), got 2"
+        )
+        self.assert_message(
+            "rdtsc\n", "line 1: rdtsc expects 1 operand(s), got 0"
+        )
+
+    def test_secret_must_precede_load(self):
+        self.assert_message(
+            "nop\n.secret\nadd r1, r2, 3\n",
+            "line 2: .secret must be followed by a load, got 'add'",
+        )
+
+    def test_secret_at_end_of_source(self):
+        self.assert_message(
+            "nop\n.secret\n", "line 2: .secret at end of source with no load"
+        )
+
+    def test_tag_at_end_of_source(self):
+        self.assert_message(
+            ".tag trigger-load\n",
+            "line 1: .tag at end of source with no instruction",
+        )
+
+    def test_endloop_without_loop_names_line(self):
+        self.assert_message("nop\n.endloop\n", "line 2: .endloop without .loop")
+
+    def test_unterminated_loop_message(self):
+        self.assert_message(
+            ".loop 2\nnop\n", "unterminated .loop block at end of source"
+        )
+
+    def test_directive_errors_propagate_from_builder(self):
+        # .pin going backwards is a builder (IsaError) contract; the
+        # assembler surfaces it unchanged.
+        from repro.errors import IsaError
+        with pytest.raises(IsaError) as excinfo:
+            assemble(".pin 0x80\nnop\n.pin 0x40\nnop\n")
+        assert "behind current pc" in str(excinfo.value)
+
+    def test_misaligned_pin_propagates(self):
+        from repro.errors import IsaError
+        with pytest.raises(IsaError) as excinfo:
+            assemble(".pin 0x41\nnop\n")
+        assert "must be aligned" in str(excinfo.value)
+
+
 class TestRoundTrip:
     def test_assembled_program_runs(self, det_core):
         program = assemble(
