@@ -13,6 +13,8 @@ Examples::
     python -m repro analyze examples/programs/timed_trigger.asm
     python -m repro lint --code
     python -m repro report --dir out
+    python -m repro all --out out --workers 4
+    python -m repro perf --workers 4 --profile sweep.pstats
 """
 
 from __future__ import annotations
@@ -187,9 +189,35 @@ def _cmd_all(args: argparse.Namespace) -> None:
         args.out, n_runs=args.runs, seed=args.seed, artifacts=artifacts,
         resume=args.resume, max_retries=args.max_retries,
         fault_profile_name=args.fault_profile,
+        workers=args.workers,
     )
     for name, path in sorted(written.items()):
         print(f"{name}: {path}")
+
+
+def _cmd_perf(args: argparse.Namespace) -> None:
+    from repro.perf.baseline import (
+        DEFAULT_SNAPSHOT, perf_baseline, render_perf_report,
+    )
+
+    artifacts = [part.strip() for part in args.artifacts.split(",")]
+    report = perf_baseline(
+        n_runs=args.runs,
+        seed=args.seed,
+        workers=args.workers,
+        artifacts=artifacts,
+        snapshot_path=(
+            None if args.no_snapshot else (args.snapshot or DEFAULT_SNAPSHOT)
+        ),
+        profile_path=args.profile,
+        progress=lambda message: print(f"# {message}", file=sys.stderr),
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_perf_report(report))
 
 
 def _cmd_analyze(args: argparse.Namespace) -> None:
@@ -248,7 +276,10 @@ def _cmd_lint(args: argparse.Namespace) -> None:
     if args.paths:
         reports.extend(lint_paths(args.paths))
 
-    code_issues = lint_code() if args.code else []
+    code_issues = (
+        (lint_code(args.code_path) if args.code_path else lint_code())
+        if args.code else []
+    )
     if args.json:
         print(json.dumps({
             "subjects": [report.to_payload() for report in reports],
@@ -418,6 +449,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--code", action="store_true",
                       help="run the determinism lint over src/ and "
                            "benchmarks/")
+    lint.add_argument(
+        "--code-path", action="append", default=None, metavar="PATH",
+        help="with --code, lint only these files/directories "
+             "(repeatable), e.g. --code-path src/repro/perf",
+    )
     lint.add_argument("--json", action="store_true")
     lint.set_defaults(func=_cmd_lint)
 
@@ -454,7 +490,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-profile", default=None,
         help="inject faults (robustness testing), e.g. crash, chaos",
     )
+    everything.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool width for the experiment cells; results are "
+             "byte-identical for any value (default: $REPRO_WORKERS or 1)",
+    )
     everything.set_defaults(func=_cmd_all)
+
+    perf = sub.add_parser(
+        "perf", help="sweep-engine throughput baseline (host-dependent)"
+    )
+    perf.add_argument("--runs", type=int, default=12,
+                      help="trials per hypothesis in the measured sweep")
+    perf.add_argument("--seed", type=int, default=0)
+    perf.add_argument("--workers", type=int, default=1,
+                      help="also time a parallel pass at this width")
+    perf.add_argument(
+        "--artifacts", default="fig5,fig8",
+        help="comma-separated sweep subset to measure "
+             "(fig5,fig7,fig8,table3)",
+    )
+    perf.add_argument(
+        "--profile", default=None, metavar="OUT.pstats",
+        help="dump a cProfile of the serial pass to this file",
+    )
+    perf.add_argument(
+        "--snapshot", default=None, metavar="BENCH.json",
+        help="merge results into this benchmark snapshot "
+             "(default: benchmarks/BENCH_parallel.json)",
+    )
+    perf.add_argument("--no-snapshot", action="store_true",
+                      help="do not write a benchmark snapshot")
+    perf.add_argument("--json", action="store_true",
+                      help="emit the full report as JSON")
+    perf.set_defaults(func=_cmd_perf)
     return parser
 
 

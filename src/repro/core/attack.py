@@ -7,10 +7,21 @@ collect the receiver's measurements into two timing distributions, and
 decide success by a Student's t-test p-value below 0.05.  It also
 estimates the attack's transmission rate (Table III's "Tran. Rate").
 
-Every trial uses a **fresh machine** (memory hierarchy + predictor +
-core) with a trial-specific seed, so run-to-run variation comes from
+Every trial observes a **fresh machine** (memory hierarchy + predictor
++ core) with a trial-specific seed, so run-to-run variation comes from
 the modelled DRAM/interconnect jitter, matching the paper's
-distribution-based methodology.
+distribution-based methodology.  "Fresh" is semantic, not allocative:
+with :attr:`AttackConfig.batch_trials` (the default) the runner keeps
+one warm machine per experiment and resets it in place between trials
+via the warm-machine reset protocol
+(:meth:`repro.memory.hierarchy.MemorySystem.reset` +
+:meth:`repro.pipeline.core.Core.reset`), which is byte-identical to
+reconstruction and several times faster.  The predictor chain is the
+exception — it is rebuilt per trial exactly as the cold path does,
+because defenses like
+:class:`~repro.defenses.random_window.RandomWindowDefense` thread one
+RNG through every wrapper they create and resetting instead of
+re-wrapping would advance that stream differently.
 """
 
 from __future__ import annotations
@@ -25,6 +36,7 @@ from repro.defenses.base import Defense
 from repro.errors import AttackError
 from repro.memory.hierarchy import MemoryConfig, MemorySystem
 from repro.memory.memsys import DramConfig
+from repro.perf.counters import COUNTERS
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.core import Core
 from repro.stats.distributions import TimingDistribution
@@ -99,6 +111,12 @@ class AttackConfig:
             runaway simulation aborts with
             :class:`~repro.errors.SimulationError` instead of burning
             the sweep's budget.
+        batch_trials: Reuse one warm core/memory pair across the
+            experiment's trials via the reset protocol instead of
+            reconstructing the machine per trial.  Results are
+            byte-identical either way (tested); disable only to
+            cross-check that equivalence or to debug reset-protocol
+            regressions.
     """
 
     confidence: int = 4
@@ -114,6 +132,7 @@ class AttackConfig:
     decode_cycles_per_line: int = 120
     seed: int = 0
     max_trial_cycles: Optional[int] = None
+    batch_trials: bool = True
     memory_config: Optional[MemoryConfig] = None
     core_config: Optional[CoreConfig] = None
     layout: Layout = field(default_factory=Layout)
@@ -208,10 +227,62 @@ class AttackRunner:
                 f"{variant.name} does not support the "
                 f"{self.config.channel.value} channel (Table II/III)"
             )
+        # The warm machine reused across trials when batch_trials is
+        # set (None until the first trial builds it cold).
+        self._warm: Optional[Tuple[MemorySystem, Core]] = None
 
     # ------------------------------------------------------------------
-    def _build_env(self, trial_seed: int) -> TrialEnv:
+    def _fresh_predictor(self) -> ValuePredictor:
+        """Build the trial's predictor chain, exactly as a cold trial.
+
+        Called once per trial on both the cold and the warm path: the
+        chain must be *rebuilt*, not reset, because stateful defenses
+        (e.g. random-window) deliberately share an RNG across the
+        wrappers they create and the stream position is part of the
+        experiment's determinism contract.
+        """
         config = self.config
+        if callable(config.predictor):
+            predictor = config.predictor(config.confidence)
+        else:
+            predictor = make_predictor(str(config.predictor), config.confidence)
+        if config.defense is not None:
+            predictor = config.defense.wrap_predictor(predictor)
+        if config.use_oracle:
+            predictor = OracleTargetPredictor(
+                predictor, self.variant.trigger_pcs(config.layout)
+            )
+        return predictor
+
+    def _core_config(self) -> CoreConfig:
+        """The effective core configuration (defense adjustments applied)."""
+        config = self.config
+        core_config = config.core_config or CoreConfig()
+        if config.defense is not None:
+            core_config = config.defense.adjust_config(core_config)
+        if config.max_trial_cycles is not None:
+            core_config = replace(
+                core_config, max_cycles=config.max_trial_cycles
+            )
+        return core_config
+
+    def _machine(self, trial_seed: int) -> Tuple[MemorySystem, Core]:
+        """A (memory, core) pair seeded for one trial.
+
+        Cold path: construct the hierarchy and core from scratch.
+        Warm path (``batch_trials`` and a machine already exists):
+        reset both in place under the trial seed — observationally
+        identical to the cold path because the reset protocol restores
+        as-constructed state and shared-region registration survives
+        (the address mapper is stateless for translation purposes).
+        """
+        config = self.config
+        if config.batch_trials and self._warm is not None:
+            memory, core = self._warm
+            memory.reset(trial_seed)
+            core.reset(predictor=self._fresh_predictor())
+            COUNTERS.warm_resets += 1
+            return memory, core
         memory_config = config.memory_config or MemoryConfig(
             dram=attack_dram_config()
         )
@@ -221,24 +292,14 @@ class AttackRunner:
             config.layout.probe_base,
             config.layout.probe_lines * config.layout.probe_stride,
         )
+        core = Core(memory, self._fresh_predictor(), self._core_config())
+        if config.batch_trials:
+            self._warm = (memory, core)
+        return memory, core
 
-        if callable(config.predictor):
-            predictor = config.predictor(config.confidence)
-        else:
-            predictor = make_predictor(str(config.predictor), config.confidence)
-        core_config = config.core_config or CoreConfig()
-        if config.defense is not None:
-            predictor = config.defense.wrap_predictor(predictor)
-            core_config = config.defense.adjust_config(core_config)
-        if config.max_trial_cycles is not None:
-            core_config = replace(
-                core_config, max_cycles=config.max_trial_cycles
-            )
-        if config.use_oracle:
-            predictor = OracleTargetPredictor(
-                predictor, self.variant.trigger_pcs(config.layout)
-            )
-        core = Core(memory, predictor, core_config)
+    def _build_env(self, trial_seed: int) -> TrialEnv:
+        config = self.config
+        memory, core = self._machine(trial_seed)
         chain = (
             config.chain_length
             if config.chain_length is not None
@@ -262,6 +323,7 @@ class AttackRunner:
             + (1 if mapped else 0)
         )
         env = self._build_env(trial_seed)
+        COUNTERS.trials += 1
         measurement = self.variant.run(env, mapped)
         sim_cycles = (
             env.core.cycle

@@ -1,0 +1,384 @@
+"""Process-parallel execution of supervised sweep cells.
+
+The paper's artifacts decompose into independent *cells* — one
+(variant, channel, predictor) experiment or the Figure 7 RSA run —
+and every cell is a pure function of its ``(cell_id, seed, policy,
+fault profile)`` inputs:
+
+* trial seeds derive only from the cell's base seed and trial index;
+* fault-injection draws are keyed by ``(profile, seed, cell_id,
+  attempt)`` (order-independent by construction, see
+  :mod:`repro.harness.faults`);
+* retry reseeding mixes in the cell id
+  (:func:`repro.harness.runner.cell_seed_index`), so retry streams do
+  not depend on which cells ran before.
+
+Cells can therefore execute in any order, in any process, and produce
+byte-identical journal payloads.  This module exploits that: it shards
+the cell list across a process pool, with the **parent as the single
+writer** — workers run cells against no store and ship the journal
+payload back; the parent persists each payload through the existing
+:class:`~repro.harness.checkpoint.CheckpointStore` (atomic per-cell
+files).  A later serial pass (the artifact assembly in
+:func:`repro.harness.persistence.run_all`) then finds every cell
+already journaled and reuses it verbatim, which is exactly the
+checkpoint-resume path — so parallel runs inherit the resume
+machinery's byte-identity guarantee instead of re-implementing it.
+
+Failed cells are deliberately **not** journaled (matching the serial
+executor): the assembly pass re-attempts them, deterministically
+reproducing the same failure record.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.channels import ChannelType
+from repro.core.variants import ALL_VARIANTS, AttackVariant
+from repro.errors import HarnessError
+from repro.harness.checkpoint import CheckpointStore
+from repro.harness.faults import FaultInjector, fault_profile
+from repro.harness.runner import (
+    CellClassification,
+    ExecutionPolicy,
+    ResilientExecutor,
+    SupervisedCell,
+    _PANEL_SPECS,
+    _slug,
+)
+from repro.memory.hierarchy import MemoryConfig
+from repro.perf.counters import COUNTERS, PerfCounters
+from repro.perf.observe import now
+
+#: Environment variable consulted for a default worker count (used by
+#: the CI matrix job to run the whole quick suite under ``--workers 2``
+#: without threading a flag through every entry point).
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def default_workers() -> int:
+    """Worker count from :data:`WORKERS_ENV`, else 1 (serial)."""
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise HarnessError(
+            f"{WORKERS_ENV} must be an integer, got {raw!r}"
+        ) from None
+    if workers < 1:
+        raise HarnessError(f"{WORKERS_ENV} must be >= 1, got {workers}")
+    return workers
+
+
+# ----------------------------------------------------------------------
+# Cell specifications
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CellSpec:
+    """A pickle-safe description of one supervised sweep cell.
+
+    ``kind`` is ``"experiment"`` (a mapped-vs-unmapped attack cell) or
+    ``"rsa"`` (the Figure 7 exponent leak).  Variants are referenced by
+    their public name and resolved in the executing process, so a spec
+    never carries live simulator state across the process boundary.
+    """
+
+    cell_id: str
+    kind: str = "experiment"
+    variant: str = ""
+    channel: str = ""
+    predictor: str = ""
+    n_runs: int = 100
+    seed: int = 0
+    exponent: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("experiment", "rsa"):
+            raise HarnessError(f"unknown cell kind {self.kind!r}")
+        if self.kind == "experiment" and not self.variant:
+            raise HarnessError(f"cell {self.cell_id!r} names no variant")
+
+
+def _variant_by_name(name: str) -> AttackVariant:
+    for variant in ALL_VARIANTS:
+        if variant.name == name:
+            return variant
+    raise HarnessError(f"unknown attack variant {name!r}")
+
+
+def sweep_specs(
+    artifacts: Sequence[str],
+    n_runs: int = 100,
+    seed: int = 0,
+    predictor: str = "lvp",
+) -> List[CellSpec]:
+    """The supervised cells behind the chosen ``repro all`` artifacts.
+
+    Mirrors the enumeration of
+    :func:`~repro.harness.runner.figure_panels_supervised`,
+    :func:`~repro.harness.runner.table3_supervised` and
+    :func:`~repro.harness.runner.figure7_supervised` — same cell ids,
+    same per-cell parameters — so prefilling these specs populates
+    exactly the journal entries the serial assembly pass will look up.
+    """
+    specs: List[CellSpec] = []
+    figure_variants = {"fig5": "Train + Test", "fig8": "Test + Hit"}
+    for figure, variant_name in figure_variants.items():
+        if figure not in artifacts:
+            continue
+        for _, channel, panel_predictor in _PANEL_SPECS:
+            specs.append(CellSpec(
+                cell_id=f"{figure}/{channel.value}-{panel_predictor}",
+                variant=variant_name,
+                channel=channel.value,
+                predictor=panel_predictor,
+                n_runs=n_runs,
+                seed=seed,
+            ))
+    if "fig7" in artifacts:
+        from repro.harness.experiment import FIGURE7_EXPONENT
+
+        specs.append(CellSpec(
+            cell_id="fig7/rsa", kind="rsa", seed=7,
+            exponent=FIGURE7_EXPONENT,
+        ))
+    if "table3" in artifacts:
+        for variant in ALL_VARIANTS:
+            slug = _slug(variant.category.value)
+            cell_plan = [
+                ("tw_novp", ChannelType.TIMING_WINDOW, "none"),
+                ("tw_vp", ChannelType.TIMING_WINDOW, predictor),
+            ]
+            if ChannelType.PERSISTENT in variant.supported_channels:
+                cell_plan += [
+                    ("pc_novp", ChannelType.PERSISTENT, "none"),
+                    ("pc_vp", ChannelType.PERSISTENT, predictor),
+                ]
+            for key, channel, cell_predictor in cell_plan:
+                specs.append(CellSpec(
+                    cell_id=f"table3/{slug}/{key}",
+                    variant=variant.name,
+                    channel=channel.value,
+                    predictor=cell_predictor,
+                    n_runs=n_runs,
+                    seed=seed,
+                ))
+    return specs
+
+
+def execute_spec(spec: CellSpec, executor: ResilientExecutor) -> SupervisedCell:
+    """Run one spec through an executor, exactly as the serial drivers do."""
+    if spec.kind == "rsa":
+        from repro.harness.experiment import RSA_DRAM
+
+        return executor.run_rsa_supervised(
+            spec.cell_id,
+            spec.exponent if spec.exponent is not None else 0,
+            seed=spec.seed,
+            memory_config=MemoryConfig(dram=RSA_DRAM),
+        )
+    return executor.run_cell_supervised(
+        spec.cell_id,
+        _variant_by_name(spec.variant),
+        ChannelType(spec.channel),
+        spec.predictor,
+        spec.n_runs,
+        spec.seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+_WORKER_EXECUTOR: Optional[ResilientExecutor] = None
+
+
+def _init_worker(
+    policy: ExecutionPolicy,
+    fault_profile_name: Optional[str],
+    fault_seed: int,
+) -> None:
+    """Build the per-process executor (no store: the parent journals)."""
+    global _WORKER_EXECUTOR
+    injector = (
+        FaultInjector(fault_profile(fault_profile_name), seed=fault_seed)
+        if fault_profile_name else None
+    )
+    _WORKER_EXECUTOR = ResilientExecutor(policy, injector=injector, store=None)
+    COUNTERS.reset()
+
+
+def _run_spec_in_worker(spec: CellSpec) -> Dict[str, object]:
+    """Execute one cell; return its journal payload + perf telemetry."""
+    assert _WORKER_EXECUTOR is not None, "worker initializer did not run"
+    before = COUNTERS.snapshot()
+    started = now()
+    cell = execute_spec(spec, _WORKER_EXECUTOR)
+    busy_s = now() - started
+    failed = cell.classification is CellClassification.FAILED
+    return {
+        "cell_id": spec.cell_id,
+        "failed": failed,
+        "payload": None if failed else cell.to_payload(),
+        "counters": PerfCounters.delta(before, COUNTERS.snapshot()),
+        "busy_s": busy_s,
+    }
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+@dataclass
+class SweepStats:
+    """Telemetry of one parallel (or serial-fallback) prefill pass."""
+
+    workers: int
+    cells_total: int = 0
+    cells_cached: int = 0
+    cells_run: int = 0
+    cells_failed: int = 0
+    elapsed_s: float = 0.0
+    busy_s: float = 0.0
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of worker-seconds spent executing cells."""
+        capacity = self.elapsed_s * self.workers
+        return self.busy_s / capacity if capacity > 0 else 0.0
+
+    @property
+    def cells_per_s(self) -> float:
+        """Cells completed per wall-clock second."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.cells_run / self.elapsed_s
+
+    @property
+    def cycles_per_s(self) -> float:
+        """Simulated cycles per wall-clock second."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.counters.get("simulated_cycles", 0) / self.elapsed_s
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-serialisable snapshot (for BENCH files and ``repro perf``)."""
+        return {
+            "workers": self.workers,
+            "cells_total": self.cells_total,
+            "cells_cached": self.cells_cached,
+            "cells_run": self.cells_run,
+            "cells_failed": self.cells_failed,
+            "elapsed_s": self.elapsed_s,
+            "busy_s": self.busy_s,
+            "utilization": self.utilization,
+            "cells_per_s": self.cells_per_s,
+            "cycles_per_s": self.cycles_per_s,
+            "counters": dict(self.counters),
+        }
+
+
+def run_cells(
+    specs: Sequence[CellSpec],
+    store: Optional[CheckpointStore],
+    policy: Optional[ExecutionPolicy] = None,
+    *,
+    workers: int = 1,
+    fault_profile_name: Optional[str] = None,
+    fault_seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepStats:
+    """Execute ``specs``, journaling results into ``store``.
+
+    With ``workers > 1`` the cells run on a process pool and the parent
+    is the only process that writes the checkpoint journal.  With
+    ``workers == 1`` the cells run in-process through an executor bound
+    directly to the store — the exact serial code path, kept as the
+    fallback so the two modes cannot drift apart.
+
+    Cells already present in the store are skipped (resume semantics).
+    The journal payloads are byte-identical for any worker count; the
+    determinism tests hash them across worker counts to enforce this.
+    """
+    if workers < 1:
+        raise HarnessError(f"workers must be >= 1, got {workers}")
+    policy = policy or ExecutionPolicy.compat()
+    stats = SweepStats(workers=workers, cells_total=len(specs))
+    pending: List[CellSpec] = []
+    for spec in specs:
+        if store is not None and store.has(spec.cell_id):
+            stats.cells_cached += 1
+        else:
+            pending.append(spec)
+    started = now()
+    counters = PerfCounters()
+
+    if workers == 1 or len(pending) <= 1:
+        injector = (
+            FaultInjector(fault_profile(fault_profile_name), seed=fault_seed)
+            if fault_profile_name else None
+        )
+        serial = ResilientExecutor(policy, injector=injector, store=store)
+        for spec in pending:
+            before = COUNTERS.snapshot()
+            cell_started = now()
+            cell = execute_spec(spec, serial)
+            stats.busy_s += now() - cell_started
+            counters.add(PerfCounters.delta(before, COUNTERS.snapshot()))
+            stats.cells_run += 1
+            if cell.classification is CellClassification.FAILED:
+                stats.cells_failed += 1
+            if progress is not None:
+                progress(f"{spec.cell_id}: {cell.classification.value}")
+        stats.elapsed_s = now() - started
+        stats.counters = counters.snapshot()
+        return stats
+
+    # mp_context: fork keeps worker start cheap and inherits the loaded
+    # modules; on platforms without fork the default context is used.
+    import multiprocessing
+
+    context = None
+    if "fork" in multiprocessing.get_all_start_methods():
+        context = multiprocessing.get_context("fork")
+    pool = ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=context,
+        initializer=_init_worker,
+        initargs=(policy, fault_profile_name, fault_seed),
+    )
+    try:
+        futures = {pool.submit(_run_spec_in_worker, spec) for spec in pending}
+        while futures:
+            done, futures = wait(futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                outcome = future.result()
+                stats.cells_run += 1
+                stats.busy_s += float(outcome["busy_s"])
+                counters.add(outcome["counters"])
+                if outcome["failed"]:
+                    stats.cells_failed += 1
+                elif store is not None:
+                    store.save(
+                        str(outcome["cell_id"]), outcome["payload"]
+                    )
+                if progress is not None:
+                    status = "failed" if outcome["failed"] else "done"
+                    progress(f"{outcome['cell_id']}: {status}")
+    finally:
+        pool.shutdown(wait=True)
+    stats.elapsed_s = now() - started
+    stats.counters = counters.snapshot()
+    # Fold worker counters into this process's totals so `repro perf`
+    # style reporting sees the whole sweep regardless of sharding.
+    COUNTERS.add(stats.counters)
+    return stats

@@ -151,6 +151,7 @@ def run_all(
     fault_profile_name: Optional[str] = None,
     policy: Optional[ExecutionPolicy] = None,
     checkpoint_dir: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, str]:
     """Regenerate and persist the selected artifacts, resumably.
 
@@ -168,6 +169,14 @@ def run_all(
         policy: Full execution policy; overrides ``max_retries``.
         checkpoint_dir: Journal location; default
             ``<out_dir>/checkpoint``.
+        workers: Process-pool width for the experiment cells; ``None``
+            reads :data:`repro.harness.parallel.WORKERS_ENV` and falls
+            back to 1 (serial).  With more than one worker the cells
+            are prefilled into the checkpoint journal by
+            :func:`repro.harness.parallel.run_cells` and the artifact
+            assembly below then reuses every journaled cell — the
+            resume path — so records are byte-identical to a serial
+            run for any worker count.
 
     Returns:
         Mapping from artifact name to the path of its rendering.
@@ -200,14 +209,41 @@ def run_all(
             FaultInjector(fault_profile(fault_profile_name), seed=seed)
             if fault_profile_name else None
         )
+        effective_policy = policy or ExecutionPolicy(
+            retry=RetryPolicy(max_retries=max_retries),
+            adaptive=AdaptivePolicy(),
+        )
         executor = ResilientExecutor(
-            policy or ExecutionPolicy(
-                retry=RetryPolicy(max_retries=max_retries),
-                adaptive=AdaptivePolicy(),
-            ),
+            effective_policy,
             injector=injector,
             store=store,
         )
+        from repro.harness.parallel import (
+            default_workers,
+            run_cells,
+            sweep_specs,
+        )
+
+        effective_workers = (
+            workers if workers is not None else default_workers()
+        )
+        if effective_workers < 1:
+            raise HarnessError(
+                f"workers must be >= 1, got {effective_workers}"
+            )
+        if effective_workers > 1:
+            # Parallel prefill: shard the supervised cells across a
+            # process pool, journaling through the store (single
+            # writer).  The assembly code below then finds every cell
+            # cached and reuses it byte-for-byte.
+            run_cells(
+                sweep_specs(supervised_chosen, n_runs=n_runs, seed=seed),
+                store,
+                effective_policy,
+                workers=effective_workers,
+                fault_profile_name=fault_profile_name,
+                fault_seed=seed,
+            )
 
     if "table1" in chosen:
         path = os.path.join(out_dir, "table1.txt")

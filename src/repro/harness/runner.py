@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import re
 import time
+import zlib
 from dataclasses import dataclass, field, replace as dc_replace
 from enum import Enum
 from typing import Callable, Dict, List, Optional, Tuple
@@ -60,11 +61,28 @@ from repro.stats.summary import DistributionComparison
 from repro.stats.ttest import ALPHA
 
 
-def reseed(base_seed: int, attempt: int) -> int:
-    """Deterministic per-attempt seed; attempt 0 is the base seed."""
+def reseed(base_seed: int, attempt: int, cell_index: int = 0) -> int:
+    """Deterministic per-attempt seed; attempt 0 is the base seed.
+
+    ``cell_index`` decorrelates retry streams between cells: the whole
+    sweep shares one base seed, so without it every cell's attempt-1
+    seed would be identical — correlated retry noise that a parallel
+    run (which executes cells in arbitrary order) would bake into the
+    artifacts.  Pass a stable per-cell value
+    (:func:`cell_seed_index` of the cell id); attempt 0 always returns
+    the base seed so first attempts match the historical serial
+    behaviour.
+    """
     if attempt == 0:
         return base_seed
-    return (base_seed * 1_000_003 + attempt * 7_919_993) % 2_147_483_647
+    return (
+        base_seed * 1_000_003 + attempt * 7_919_993 + cell_index * 65_537
+    ) % 2_147_483_647
+
+
+def cell_seed_index(cell_id: str) -> int:
+    """A stable small integer derived from a cell id (for reseeding)."""
+    return zlib.crc32(cell_id.encode("utf-8"))
 
 
 class CellClassification(str, Enum):
@@ -345,8 +363,9 @@ class ResilientExecutor:
         result: Optional[object] = None
         attempt = 0
 
+        cell_index = cell_seed_index(cell_id)
         while True:
-            seed_now = reseed(seed, attempt - escalations)
+            seed_now = reseed(seed, attempt - escalations, cell_index)
             backoff = policy.retry.backoff_before(attempt - escalations)
             if backoff:
                 self._sleep(backoff)

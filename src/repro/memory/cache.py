@@ -93,6 +93,7 @@ class SetAssociativeCache:
         self.num_sets = num_sets
         self.stats = CacheStats()
         self._policy_name = policy
+        self._rng = rng
         # Per-set: list of tags (None = invalid) and a replacement policy.
         self._tags: List[List[Optional[int]]] = [
             [None] * ways for _ in range(num_sets)
@@ -100,6 +101,24 @@ class SetAssociativeCache:
         self._policies: List[ReplacementPolicy] = [
             make_policy(policy, ways, rng=rng) for _ in range(num_sets)
         ]
+
+    def reset(self, rng_seed: Optional[int] = None) -> None:
+        """Restore the as-constructed state (warm-machine reset protocol).
+
+        Invalidates every line, zeroes the stats, resets each set's
+        replacement state in place and — when ``rng_seed`` is given —
+        reseeds the shared replacement RNG, so a reset cache is
+        byte-identical to one freshly constructed with the same
+        parameters (no per-set reallocation).
+        """
+        for tags in self._tags:
+            for way in range(self.ways):
+                tags[way] = None
+        for set_policy in self._policies:
+            set_policy.reset()
+        if self._rng is not None and rng_seed is not None:
+            self._rng.seed(rng_seed)
+        self.stats.reset()
 
     # ------------------------------------------------------------------
     def _index_tag(self, addr: int) -> Tuple[int, int]:

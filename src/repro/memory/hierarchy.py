@@ -17,7 +17,7 @@ The pipeline interacts with it through :class:`MemorySystem`:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dc_replace
 from typing import Optional
 
 from repro.errors import MemorySystemError
@@ -115,6 +115,31 @@ class MemorySystem:
         )
         self.dram = DramModel(self.config.dram, rng=random.Random(seed ^ 0x33))
         self.store_values = BackingStore(default_seed=seed)
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Restore the hierarchy to its just-constructed state.
+
+        The warm-machine reset protocol: instead of rebuilding every
+        cache set, TLB entry and RNG per trial, a reused
+        :class:`MemorySystem` is reset in place under a (possibly new)
+        seed.  After ``reset(s)`` the hierarchy's observable behaviour —
+        hit/miss sequences, replacement decisions, DRAM latency draws,
+        default memory values — is byte-identical to
+        ``MemorySystem(replace(config, seed=s), mapper)`` with the same
+        shared regions already registered.  The address mapper is
+        deliberately untouched: translations are stateless and region
+        registration is not idempotent.
+        """
+        if seed is None:
+            seed = self.config.seed
+        else:
+            self.config = dc_replace(self.config, seed=seed)
+        self._rng.seed(seed ^ 0xC0FFEE)
+        self.l1.reset(seed ^ 0x11)
+        self.l2.reset(seed ^ 0x22)
+        self.tlb.reset()
+        self.dram.reset(seed ^ 0x33)
+        self.store_values.reset(seed)
 
     # ------------------------------------------------------------------
     # Architectural (timing-free) accessors

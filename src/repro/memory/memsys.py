@@ -75,6 +75,17 @@ class DramModel:
         self._rng = rng or random.Random(0xD7A3)
         self.accesses = 0
 
+    def reset(self, rng_seed: Optional[int] = None) -> None:
+        """Reseed the latency stream and zero the access counter.
+
+        With the seed a fresh construction would have used, the reset
+        model draws the exact latency sequence of a new
+        :class:`DramModel` — the warm-machine reset protocol.
+        """
+        if rng_seed is not None:
+            self._rng.seed(rng_seed)
+        self.accesses = 0
+
     def access_latency(self) -> int:
         """Latency of one main-memory access, in cycles."""
         self.accesses += 1
@@ -121,3 +132,9 @@ class BackingStore:
     def clear(self) -> None:
         """Forget all explicit writes (defaults become visible again)."""
         self._values.clear()
+
+    def reset(self, default_seed: Optional[int] = None) -> None:
+        """Forget writes and (optionally) rebase the default values."""
+        self._values.clear()
+        if default_seed is not None:
+            self._default_seed = default_seed & _VALUE_MASK

@@ -76,6 +76,11 @@ class Tlb:
         """Presence check with no side effects."""
         return (pid, vaddr // self.page_size) in self._map
 
+    def reset(self) -> None:
+        """Drop all translations and zero the stats (warm-machine reset)."""
+        self._map.clear()
+        self.stats.reset()
+
     def flush_all(self) -> None:
         """Drop every translation (e.g. on a simulated context switch)."""
         self._map.clear()

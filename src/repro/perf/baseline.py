@@ -1,0 +1,249 @@
+"""Performance observability baseline: the ``repro perf`` command.
+
+Three measurements, all on the host that runs them:
+
+* **warm batching** — one representative attack cell executed twice,
+  with the warm-machine reset protocol on and off, to quantify the
+  single-core gain from reusing the Core/MemorySystem pair across
+  trials (and to re-check that both modes agree bit-for-bit);
+* **serial sweep** — a small supervised sweep through
+  :func:`repro.harness.parallel.run_cells` at ``workers=1``:
+  cells/second, simulated cycles/second, and the program/trace cache
+  hit rates from :mod:`repro.perf.counters`;
+* **parallel sweep** — the same sweep on a process pool: speedup over
+  the serial pass and worker utilization.
+
+The numbers are host-dependent by nature, so they are *observability*,
+not artifacts: nothing simulated reads them, and the determinism lint
+keeps it that way (host-time reads live in :mod:`repro.perf.observe`).
+Results merge into a benchmark snapshot JSON
+(:data:`DEFAULT_SNAPSHOT`) so regressions are visible across commits,
+and ``--profile`` dumps a cProfile of the serial pass for drill-down.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro._version import __version__
+from repro.core.channels import ChannelType
+from repro.harness.checkpoint import CheckpointStore
+from repro.harness.parallel import (
+    CellSpec,
+    SweepStats,
+    _variant_by_name,
+    run_cells,
+    sweep_specs,
+)
+from repro.harness.runner import ExecutionPolicy
+from repro.perf.observe import Stopwatch, write_bench_snapshot
+
+#: Default benchmark snapshot the CLI merges its sections into.
+DEFAULT_SNAPSHOT = "benchmarks/BENCH_parallel.json"
+
+#: Representative cell for the warm-batching microbenchmark: the
+#: paper's flagship Train + Test attack over the timing-window channel.
+_WARM_VARIANT = "Train + Test"
+_WARM_CHANNEL = ChannelType.TIMING_WINDOW
+_WARM_PREDICTOR = "lvp"
+
+
+def _rate(hits: int, misses: int) -> float:
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def measure_warm_batching(
+    n_runs: int = 40, seed: int = 0,
+) -> Dict[str, Any]:
+    """Time one cell with and without warm-machine trial batching.
+
+    Runs a short untimed warm-up first so both timed passes see hot
+    program/trace caches and the comparison isolates machine
+    construction cost.  Also asserts the two modes agree, turning every
+    ``repro perf`` invocation into a cheap determinism spot-check.
+    """
+    from repro.harness.experiment import run_cell
+
+    variant = _variant_by_name(_WARM_VARIANT)
+
+    def one(batch: bool):
+        return run_cell(
+            variant, _WARM_CHANNEL, _WARM_PREDICTOR,
+            n_runs=n_runs, seed=seed, batch_trials=batch,
+        )
+
+    one(True)  # warm-up: populate gadget/trace caches
+    timings: Dict[str, float] = {}
+    pvalues: Dict[str, float] = {}
+    for label, batch in (("cold", False), ("warm", True)):
+        watch = Stopwatch()
+        with watch:
+            result = one(batch)
+        timings[label] = watch.elapsed
+        pvalues[label] = float(result.pvalue)
+    if pvalues["cold"] != pvalues["warm"]:
+        raise AssertionError(
+            "warm-batched cell diverged from cold-machine cell: "
+            f"{pvalues['warm']} != {pvalues['cold']}"
+        )
+    return {
+        "cell": f"{_WARM_VARIANT} / {_WARM_CHANNEL.value} / {_WARM_PREDICTOR}",
+        "n_runs": n_runs,
+        "cold_s": timings["cold"],
+        "warm_s": timings["warm"],
+        "speedup": (
+            timings["cold"] / timings["warm"] if timings["warm"] > 0 else 0.0
+        ),
+        "identical": True,
+    }
+
+
+def _sweep_pass(
+    specs: Sequence[CellSpec],
+    workers: int,
+    profiler: Optional[cProfile.Profile] = None,
+) -> SweepStats:
+    """One full prefill pass against a throwaway checkpoint store."""
+    scratch = tempfile.mkdtemp(prefix="repro-perf-")
+    try:
+        store = CheckpointStore.open(
+            str(Path(scratch) / "checkpoint"),
+            {"version": __version__, "perf": True}, resume=False,
+        )
+        if profiler is not None:
+            profiler.enable()
+        try:
+            return run_cells(
+                specs, store, ExecutionPolicy.compat(), workers=workers
+            )
+        finally:
+            if profiler is not None:
+                profiler.disable()
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def perf_baseline(
+    *,
+    n_runs: int = 12,
+    seed: int = 0,
+    workers: int = 1,
+    artifacts: Sequence[str] = ("fig5", "fig8"),
+    snapshot_path: Optional[str] = DEFAULT_SNAPSHOT,
+    profile_path: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Measure the sweep engine's throughput baseline.
+
+    Returns the report dict; when ``snapshot_path`` is set, also merges
+    it under the ``"repro_perf"`` section of that benchmark JSON.
+    """
+    say = progress or (lambda message: None)
+    specs = sweep_specs(artifacts, n_runs=n_runs, seed=seed)
+
+    say("warm batching: 1 cell, batch_trials on/off ...")
+    warm = measure_warm_batching(n_runs=max(n_runs, 20), seed=seed)
+
+    if profile_path:
+        # Separate pass: the profiler's tracing overhead would inflate
+        # the serial time and with it the reported parallel speedup.
+        say(f"profiled sweep: {len(specs)} cells ...")
+        profiler = cProfile.Profile()
+        _sweep_pass(specs, workers=1, profiler=profiler)
+        profiler.dump_stats(profile_path)
+        say(f"profile written to {profile_path}")
+
+    say(f"serial sweep: {len(specs)} cells ...")
+    serial = _sweep_pass(specs, workers=1)
+
+    parallel: Optional[SweepStats] = None
+    if workers > 1:
+        say(f"parallel sweep: {len(specs)} cells, {workers} workers ...")
+        parallel = _sweep_pass(specs, workers=workers)
+
+    counters = serial.counters
+    report: Dict[str, Any] = {
+        "version": __version__,
+        "n_runs": n_runs,
+        "seed": seed,
+        "artifacts": list(artifacts),
+        "cells": len(specs),
+        "warm_batching": warm,
+        "serial": {
+            **serial.to_payload(),
+            "program_cache_hit_rate": _rate(
+                counters.get("program_cache_hits", 0),
+                counters.get("program_cache_misses", 0),
+            ),
+            "trace_cache_hit_rate": _rate(
+                counters.get("trace_cache_hits", 0),
+                counters.get("trace_cache_misses", 0),
+            ),
+        },
+        "parallel": None,
+    }
+    if parallel is not None:
+        report["parallel"] = {
+            **parallel.to_payload(),
+            "speedup": (
+                serial.elapsed_s / parallel.elapsed_s
+                if parallel.elapsed_s > 0 else 0.0
+            ),
+        }
+    if snapshot_path:
+        write_bench_snapshot(Path(snapshot_path), "repro_perf", report)
+        say(f"snapshot merged into {snapshot_path}")
+    return report
+
+
+def render_perf_report(report: Dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`perf_baseline` report."""
+    lines: List[str] = []
+    lines.append(
+        f"repro perf — sweep engine baseline "
+        f"(v{report['version']}, n_runs={report['n_runs']}, "
+        f"seed={report['seed']})"
+    )
+    warm = report["warm_batching"]
+    lines.append("")
+    lines.append(f"warm batching ({warm['cell']}, n_runs={warm['n_runs']}):")
+    lines.append(
+        f"  cold machines : {warm['cold_s']:7.3f} s   "
+        f"warm reuse: {warm['warm_s']:7.3f} s   "
+        f"speedup {warm['speedup']:.2f}x"
+        + ("   [results identical]" if warm["identical"] else "")
+    )
+    serial = report["serial"]
+    lines.append("")
+    lines.append(
+        f"serial sweep ({report['cells']} cells: "
+        f"{','.join(report['artifacts'])}):"
+    )
+    lines.append(
+        f"  elapsed {serial['elapsed_s']:.2f} s — "
+        f"{serial['cells_per_s']:.2f} cells/s, "
+        f"{serial['cycles_per_s'] / 1e6:.2f}M cycles/s"
+    )
+    lines.append(
+        f"  program cache {serial['program_cache_hit_rate'] * 100:.1f}% "
+        f"hits, trace cache {serial['trace_cache_hit_rate'] * 100:.1f}% "
+        f"hits, {serial['counters'].get('trials', 0)} trials, "
+        f"{serial['counters'].get('warm_resets', 0)} warm resets"
+    )
+    parallel = report.get("parallel")
+    lines.append("")
+    if parallel is None:
+        lines.append("parallel sweep: skipped (workers=1)")
+    else:
+        lines.append(f"parallel sweep ({parallel['workers']} workers):")
+        lines.append(
+            f"  elapsed {parallel['elapsed_s']:.2f} s — "
+            f"speedup {parallel['speedup']:.2f}x vs serial, "
+            f"utilization {parallel['utilization'] * 100:.0f}%"
+        )
+    return "\n".join(lines)

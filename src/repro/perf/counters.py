@@ -1,0 +1,79 @@
+"""Deterministic perf counters (no clock, no RNG — pure bookkeeping).
+
+A single process-global :data:`COUNTERS` instance accumulates cache
+and throughput statistics.  Everything here is a plain integer
+increment, so enabling the counters can never perturb a result; the
+parallel sweep engine snapshots them per worker task and aggregates
+the deltas in the parent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict
+
+
+@dataclass
+class PerfCounters:
+    """Counters for the program/uop caches and simulation throughput.
+
+    Attributes:
+        program_cache_hits / program_cache_misses: Lookups of the
+            memoized attack-program factories
+            (:func:`repro.perf.memo.memoize_program`).
+        trace_cache_hits / trace_cache_misses: Lookups of the decoded
+            dynamic-uop trace (:meth:`repro.isa.program.Program.dynamic_trace`).
+        trials: Attack trials executed (one hypothesis run each).
+        warm_resets: Trials served by the warm-machine reset protocol
+            instead of cold construction.
+        simulated_cycles: Total simulated cycles consumed by completed
+            ``Core`` runs.
+    """
+
+    program_cache_hits: int = 0
+    program_cache_misses: int = 0
+    trace_cache_hits: int = 0
+    trace_cache_misses: int = 0
+    trials: int = 0
+    warm_resets: int = 0
+    simulated_cycles: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """The counter values as a plain dict (JSON- and pickle-safe)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def add(self, delta: Dict[str, int]) -> None:
+        """Accumulate a snapshot delta (e.g. returned by a worker)."""
+        for name, value in delta.items():
+            setattr(self, name, getattr(self, name) + int(value))
+
+    @staticmethod
+    def delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+        """Per-counter difference between two snapshots (zeros omitted)."""
+        moved = {name: after[name] - before.get(name, 0) for name in after}
+        return {name: value for name, value in moved.items() if value}
+
+    # -- derived rates -------------------------------------------------
+    @staticmethod
+    def _rate(hits: int, misses: int) -> float:
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    @property
+    def program_cache_hit_rate(self) -> float:
+        """Hit rate of the memoized program factories (0 when idle)."""
+        return self._rate(self.program_cache_hits, self.program_cache_misses)
+
+    @property
+    def trace_cache_hit_rate(self) -> float:
+        """Hit rate of the decoded uop-trace cache (0 when idle)."""
+        return self._rate(self.trace_cache_hits, self.trace_cache_misses)
+
+
+#: The process-global counter instance.
+COUNTERS = PerfCounters()

@@ -1,0 +1,79 @@
+"""Wall-clock observation and benchmark snapshot persistence.
+
+This module is the *only* sanctioned home for host-time reads in the
+sweep path.  Host time never influences a simulated measurement — the
+simulator's clock is its own cycle counter — so the determinism lint
+allows the reads here explicitly via pragmas.  Everything that touches
+results (seeds, latencies, thresholds) stays wall-clock free.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.harness.checkpoint import atomic_write_json
+
+
+def now() -> float:
+    """Monotonic host timestamp in seconds (reporting only)."""
+    return time.perf_counter()  # lint: allow(wall-clock)
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch for throughput reporting.
+
+    Use as a context manager around units of work; ``elapsed`` sums
+    every timed region.  Purely observational: nothing simulated ever
+    reads it.
+    """
+
+    elapsed: float = 0.0
+    laps: int = 0
+    _started: Optional[float] = field(default=None, repr=False)
+
+    def __enter__(self) -> "Stopwatch":
+        self._started = now()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        assert self._started is not None
+        self.elapsed += now() - self._started
+        self._started = None
+        self.laps += 1
+
+
+def throughput(count: int, seconds: float) -> float:
+    """Items per second, 0.0 when no time elapsed."""
+    return count / seconds if seconds > 0 else 0.0
+
+
+def write_bench_snapshot(
+    path: Path,
+    section: str,
+    payload: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Merge ``payload`` under ``section`` into a benchmark JSON file.
+
+    Existing sections from earlier runs are preserved, so the serial
+    baseline, warm-batching, and parallel-speedup numbers can be
+    recorded independently and accumulate in one snapshot.  Writing is
+    atomic (tmp + replace) so an interrupted bench never corrupts a
+    previous snapshot.  Returns the merged document.
+    """
+    document: Dict[str, Any] = {}
+    if path.exists():
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            document = {}
+    if not isinstance(document, dict):
+        document = {}
+    document[section] = payload
+    path.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_json(str(path), document)
+    return document

@@ -31,9 +31,13 @@ event's cycle number.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from heapq import heappop, heappush
+from itertools import islice
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import PipelineError, SimulationError
+from repro.perf.counters import COUNTERS
 from repro.isa.instructions import (
     NUM_REGISTERS,
     AluOp,
@@ -108,6 +112,24 @@ class Core:
         self.total_retired = 0
         self._seq = 0
 
+    def reset(self, predictor: Optional[ValuePredictor] = None) -> None:
+        """Restore the core to its just-constructed state.
+
+        Part of the warm-machine reset protocol: zeroes the cycle
+        counter (so RDTSC timebases match a cold core), the sequence
+        counter and the aggregate statistics, and optionally installs a
+        fresh predictor chain.  The memory system is reset separately
+        via :meth:`repro.memory.hierarchy.MemorySystem.reset` — after
+        both, a reused core is observationally identical to
+        ``Core(memory, predictor, config)`` on a fresh hierarchy.
+        """
+        if predictor is not None:
+            self.predictor = predictor
+        self.cycle = 0
+        self.total_squashes = 0
+        self.total_retired = 0
+        self._seq = 0
+
     # ------------------------------------------------------------------
     def run(self, program: Program) -> RunResult:
         """Execute ``program`` to completion and return its results."""
@@ -141,6 +163,11 @@ class Core:
         def unfinished(state: "_RunState") -> bool:
             return state.fetch_index < len(state.trace) or bool(state.rob)
 
+        # One port-budget object is reused for the whole run; a fresh
+        # allocation per simulated cycle dominated the allocator in
+        # profiles of long sweeps.
+        ports = _PortBudget(self.config)
+
         while any(unfinished(state) for state in states):
             if self.cycle > safety_limit:
                 names = ", ".join(program.name for program in programs)
@@ -156,7 +183,7 @@ class Core:
             # Round-robin issue priority between contexts, as in real
             # SMT cores: without it the first context would never feel
             # contention and the volatile channel would be one-sided.
-            ports = _PortBudget(self.config)
+            ports.refill(self.config)
             offset = self.cycle % len(states)
             for state in states[offset:] + states[:offset]:
                 if unfinished(state):
@@ -186,6 +213,7 @@ class Core:
                     )
                 self.cycle = next_cycle
 
+        COUNTERS.simulated_cycles += self.cycle - start_cycle
         results = []
         for index, state in enumerate(states):
             self.total_retired += state.retired
@@ -217,6 +245,10 @@ class _PortBudget:
     __slots__ = ("alu", "mul", "mem")
 
     def __init__(self, config: CoreConfig) -> None:
+        self.refill(config)
+
+    def refill(self, config: CoreConfig) -> None:
+        """Restore the full budget at the start of a cycle."""
         self.alu = config.alu_ports
         self.mul = config.mul_ports
         self.mem = config.mem_ports
@@ -224,6 +256,15 @@ class _PortBudget:
 
 class _RunState:
     """Per-run mutable pipeline state (ROB, rename map, buffers)."""
+
+    __slots__ = (
+        "core", "config", "memory", "predictor", "program", "trace",
+        "pid", "rob", "rename", "arch_regs", "store_buffer",
+        "fetch_index", "dispatch_stall_until", "fence_active",
+        "retired", "squashes", "rdtsc_values", "load_events",
+        "unverified_predictions", "deferred_fills", "pending_issue",
+        "_earliest_completion", "_event_heap",
+    )
 
     def __init__(self, core: Core, program: Program,
                  trace: Tuple[PlacedInstruction, ...]) -> None:
@@ -235,7 +276,9 @@ class _RunState:
         self.trace = trace
         self.pid = program.pid
 
-        self.rob: List[MicroOp] = []
+        # The ROB is a deque: commit retires from the left every cycle,
+        # and list.pop(0) was a measurable share of long sweeps.
+        self.rob: Deque[MicroOp] = deque()
         self.rename: Dict[int, MicroOp] = {}
         self.arch_regs: List[int] = [0] * NUM_REGISTERS
         self.store_buffer: List[MicroOp] = []
@@ -259,8 +302,17 @@ class _RunState:
         # Earliest pending completion among ISSUED ops, or None; lets
         # completion scans exit immediately on quiet cycles.
         self._earliest_completion: Optional[int] = None
+        # Min-heap of future event cycles (value-ready and completion
+        # times, as scheduled).  next_event_cycle() pops it lazily
+        # instead of scanning the whole ROB.  Entries are never removed
+        # on squash, so the heap may hold *stale* cycles; waking at a
+        # stale cycle is a harmless no-progress visit — no event is
+        # recorded there and the loop immediately skips onward, so
+        # every recorded cycle number is identical to the scan version.
+        self._event_heap: List[int] = []
 
     def _note_completion_time(self, when: int) -> None:
+        heappush(self._event_heap, when)
         if (
             self._earliest_completion is None
             or when < self._earliest_completion
@@ -357,7 +409,7 @@ class _RunState:
     def _squash_younger(self, load: MicroOp) -> int:
         """Squash everything younger than ``load``; returns the count."""
         self.squashes += 1
-        survivors: List[MicroOp] = []
+        survivors: Deque[MicroOp] = deque()
         squashed: List[MicroOp] = []
         for uop in self.rob:
             if uop.seq > load.seq:
@@ -451,7 +503,7 @@ class _RunState:
             if head.complete_cycle is not None and head.complete_cycle > cycle:
                 break
             self._retire(head)
-            self.rob.pop(0)
+            self.rob.popleft()
             budget -= 1
             progress = True
         return progress
@@ -671,6 +723,7 @@ class _RunState:
                         cycle + self.config.predict_latency, done
                     )
                     uop.complete_cycle = done
+                    heappush(self._event_heap, uop.value_ready_cycle)
                     self._note_completion_time(done)
                     self.unverified_predictions[uop.seq] = uop
                     return
@@ -691,6 +744,7 @@ class _RunState:
             uop.result = prediction.value
             uop.value_ready_cycle = cycle + self.config.predict_latency
             uop.complete_cycle = memory_return
+            heappush(self._event_heap, uop.value_ready_cycle)
             self.unverified_predictions[uop.seq] = uop
         else:
             uop.result = result.value
@@ -751,14 +805,19 @@ class _RunState:
     # Idle-skip support
     # ------------------------------------------------------------------
     def next_event_cycle(self) -> Optional[int]:
-        """Earliest future cycle at which pipeline state can change."""
+        """Earliest scheduled future cycle at which state can change.
+
+        Backed by the event min-heap instead of a full-ROB scan; past
+        (and therefore possibly stale) entries are popped lazily.  May
+        return a stale cycle belonging to a squashed op — the caller's
+        no-progress loop treats such a wakeup as a skippable quiet
+        cycle, so timing is unaffected (see ``_event_heap``).
+        """
         cycle = self.core.cycle
-        best: Optional[int] = None
-        for uop in self.rob:
-            for when in (uop.value_ready_cycle, uop.complete_cycle):
-                if when is not None and when > cycle:
-                    if best is None or when < best:
-                        best = when
+        heap = self._event_heap
+        while heap and heap[0] <= cycle:
+            heappop(heap)
+        best: Optional[int] = heap[0] if heap else None
         if self.dispatch_stall_until > cycle and self.fetch_index < len(self.trace):
             if best is None or self.dispatch_stall_until < best:
                 best = self.dispatch_stall_until
@@ -767,7 +826,7 @@ class _RunState:
     def describe_stall(self) -> str:
         """Diagnostic string for deadlock errors."""
         states = {}
-        for uop in self.rob[:8]:
+        for uop in islice(self.rob, 8):
             states[f"seq{uop.seq}:{uop.instr.op.value}"] = uop.state.value
         return (
             f"fetch_index={self.fetch_index}/{len(self.trace)} "

@@ -20,9 +20,13 @@ class UopState(enum.Enum):
     SQUASHED = "squashed"       #: killed by a value-misprediction squash
 
 
-@dataclass
+@dataclass(slots=True)
 class MicroOp:
     """One in-flight dynamic instruction.
+
+    Declared with ``slots=True``: a sweep allocates tens of millions of
+    micro-ops, and slotted instances cut both per-op memory and
+    attribute-access time in the cycle loop's hottest paths.
 
     Attributes:
         seq: Global dynamic sequence number (program order).

@@ -26,6 +26,7 @@ from typing import Optional, Sequence
 from repro.errors import AttackError
 from repro.isa.builder import ProgramBuilder
 from repro.isa.program import Program
+from repro.perf.memo import memoize_program
 
 #: Register conventions used by the gadgets.
 REG_LOADED = 3     #: destination of the interesting load
@@ -88,7 +89,15 @@ class Layout:
 #: Instructions in a train-loop body before its load (flush, fence).
 _TRAIN_PREFIX_INSTRUCTIONS = 2
 
+# Every factory below is pure — same arguments, same Program — and
+# Programs are immutable once built, so the factories are memoized.
+# Trials of a cell (and cells sharing a layout) rebuild identical
+# train/trigger/probe programs thousands of times; the cache turns
+# that into a dictionary lookup and, because the cached Program keeps
+# its expanded dynamic trace, it doubles as a decoded-uop cache.
 
+
+@memoize_program()
 def train_program(
     name: str,
     pid: int,
@@ -121,6 +130,7 @@ def train_program(
     return builder.build()
 
 
+@memoize_program()
 def timed_trigger_program(
     name: str,
     pid: int,
@@ -159,6 +169,7 @@ def timed_trigger_program(
     return builder.build()
 
 
+@memoize_program()
 def plain_trigger_program(
     name: str,
     pid: int,
@@ -186,6 +197,7 @@ def plain_trigger_program(
     return builder.build()
 
 
+@memoize_program()
 def encode_trigger_program(
     name: str,
     pid: int,
@@ -225,6 +237,7 @@ def encode_trigger_program(
     return builder.build()
 
 
+@memoize_program()
 def probe_program(
     name: str,
     pid: int,
@@ -251,6 +264,7 @@ def probe_program(
     return builder.build()
 
 
+@memoize_program()
 def idle_program(name: str, pid: int, base_pc: int, nops: int = 8) -> Program:
     """A do-nothing filler program (the sender's secret = 0 path)."""
     builder = ProgramBuilder(name, pid=pid, base_pc=base_pc)
@@ -259,6 +273,7 @@ def idle_program(name: str, pid: int, base_pc: int, nops: int = 8) -> Program:
     return builder.build()
 
 
+@memoize_program()
 def mul_burst_trigger_program(
     name: str,
     pid: int,
@@ -296,6 +311,7 @@ def mul_burst_trigger_program(
     return builder.build()
 
 
+@memoize_program()
 def mul_probe_program(
     name: str,
     pid: int,
