@@ -1,0 +1,210 @@
+"""Snapshot/fork engine: speedup of the Table III sweep path.
+
+Measures the machine snapshot/fork engine (:mod:`repro.snapshot`) on
+the exact sweep the paper's Table III regenerates, against the PR 3
+warm-batched baseline recorded in ``BENCH_parallel.json`` by
+``bench_sim_throughput.py``.  Three claims are checked:
+
+1. Byte-identity: an audited snapshot pass over representative cells
+   replays every forked trial cold and asserts identical
+   measurements (the audit raises on any divergence).
+2. The fork protocol beats the legacy warm-batched protocol on the
+   same code today (prologue re-simulation is skipped).
+3. End-to-end, the sweep path with the fork engine (plus the
+   issue/completion fast paths it motivated) is >= 2x faster than
+   the recorded PR 3 warm-batched baseline.
+
+One-shot comparative timing, ``slow``-marked like the other sweep
+benches so the quick CI pass stays quick.
+"""
+
+import pytest
+
+pytestmark = pytest.mark.slow  # full regeneration; excluded from the quick CI pass
+
+import tempfile
+from pathlib import Path
+
+from benchmarks.conftest import run_once
+
+_SNAPSHOT = Path(__file__).parent / "BENCH_parallel.json"
+
+#: Shape of the recorded PR 3 baseline this bench compares against
+#: (sweep_specs(["table3"], n_runs=8, seed=0): 18 cells, 288 trials).
+_BASELINE_CELLS = 18
+_BASELINE_TRIALS = 288
+
+
+def _recorded_baseline():
+    """The PR 3 warm-batched serial sweep from the BENCH snapshot.
+
+    Returns ``None`` when the snapshot is missing or was re-recorded
+    with a different sweep shape — the >= 2x assertion then has no
+    valid reference and is skipped (loudly).
+    """
+    import json
+
+    try:
+        document = json.loads(_SNAPSHOT.read_text())
+    except (OSError, ValueError):
+        return None
+    section = document.get("bench_parallel_sweep", {})
+    serial = section.get("serial", {})
+    if section.get("cells") != _BASELINE_CELLS:
+        return None
+    if serial.get("counters", {}).get("trials") != _BASELINE_TRIALS:
+        return None
+    elapsed = serial.get("elapsed_s")
+    return float(elapsed) if elapsed else None
+
+
+def _sweep_pass(**overrides):
+    """Run the Table III sweep serially; returns (stats, payloads)."""
+    from repro._version import __version__
+    from repro.harness.checkpoint import CheckpointStore
+    from repro.harness.parallel import run_cells, sweep_specs
+    from repro.harness.runner import ExecutionPolicy
+
+    specs = sweep_specs(["table3"], n_runs=8, seed=0, **overrides)
+    with tempfile.TemporaryDirectory() as scratch:
+        store = CheckpointStore.open(
+            str(Path(scratch) / "checkpoint"),
+            {"version": __version__, "n_runs": 8, "seed": 0, **overrides},
+            resume=False,
+        )
+        stats = run_cells(specs, store, ExecutionPolicy.compat(), workers=1)
+        payloads = {spec.cell_id: store.load(spec.cell_id) for spec in specs}
+    return stats, payloads
+
+
+def test_snapshot_fork_sweep_speedup(benchmark):
+    """Fork-path Table III sweep: audited, and >= 2x over PR 3."""
+    from repro.perf.counters import COUNTERS, PerfCounters
+    from repro.perf.observe import write_bench_snapshot
+
+    # Warm the program/trace caches so neither timed pass pays
+    # first-build costs the other skipped.
+    _sweep_pass(snapshot_trials=True)
+
+    legacy_stats, _ = _sweep_pass()
+    before = COUNTERS.snapshot()
+    fork_stats, fork_payloads = run_once(
+        benchmark, _sweep_pass, snapshot_trials=True
+    )
+    delta = PerfCounters.delta(before, COUNTERS.snapshot())
+
+    # Byte-identity: audit mode cold-replays every forked trial and
+    # raises on any divergence.  Audited over the full sweep (audit
+    # replay cost is excluded from the timed pass above).
+    _, audited_payloads = _sweep_pass(
+        snapshot_trials=True, audit_snapshots=True
+    )
+    assert audited_payloads == fork_payloads
+
+    legacy_s = legacy_stats.elapsed_s
+    fork_s = fork_stats.elapsed_s
+    baseline_s = _recorded_baseline()
+    fork_vs_legacy = legacy_s / fork_s if fork_s > 0 else 0.0
+    vs_pr3 = baseline_s / fork_s if baseline_s and fork_s > 0 else None
+
+    print("\nSnapshot/fork engine on the Table III sweep "
+          f"({_BASELINE_CELLS} cells, n_runs=8):")
+    print(f"  PR 3 warm-batched baseline : "
+          f"{baseline_s:8.3f} s" if baseline_s else
+          "  PR 3 warm-batched baseline :   (not recorded)")
+    print(f"  legacy protocol (today)    : {legacy_s:8.3f} s")
+    print(f"  snapshot fork protocol     : {fork_s:8.3f} s")
+    print(f"  fork vs legacy             : {fork_vs_legacy:7.2f} x")
+    if vs_pr3 is not None:
+        print(f"  fork vs PR 3 baseline      : {vs_pr3:7.2f} x")
+    print(f"  {delta.get('snapshot_forks', 0)} forks, "
+          f"{delta.get('snapshot_prologue_hits', 0)} prologue hits, "
+          f"{delta.get('snapshot_cycles_avoided', 0)} cycles avoided, "
+          f"{delta.get('snapshot_bytes_copied', 0)} bytes copied")
+
+    write_bench_snapshot(_SNAPSHOT, "bench_snapshot_fork", {
+        "cells": _BASELINE_CELLS,
+        "n_runs": 8,
+        "pr3_baseline_s": baseline_s,
+        "legacy_s": legacy_s,
+        "fork_s": fork_s,
+        "fork_vs_legacy": fork_vs_legacy,
+        "fork_vs_pr3_baseline": vs_pr3,
+        "audited_identical": True,
+        "counters": {
+            key: value for key, value in delta.items()
+            if key.startswith("snapshot_")
+        },
+    })
+
+    assert delta.get("snapshot_forks", 0) > 0
+    # At n_runs=8 the persistent/volatile cells are dominated by their
+    # measured windows, so the sweep-level fork gain is modest; the
+    # engine must still never lose beyond timer noise.
+    assert fork_s < legacy_s * 1.1, (
+        f"fork protocol slower than legacy warm batching: "
+        f"{fork_s:.3f}s vs {legacy_s:.3f}s"
+    )
+    if baseline_s is None:
+        print("  (no recorded PR 3 baseline -> 2x assertion skipped)")
+    else:
+        assert vs_pr3 >= 2.0, (
+            f"expected >= 2x end-to-end vs the PR 3 warm-batched "
+            f"baseline ({baseline_s:.3f}s), got {vs_pr3:.2f}x "
+            f"({fork_s:.3f}s)"
+        )
+
+
+def test_snapshot_fork_prologue_heavy_cell(benchmark):
+    """Where the train prologue dominates, forking wins outright.
+
+    Train + Test / timing-window is the paper's canonical cell: the
+    receiver's confidence-building train loop plus the sender's
+    retrain pass dwarf the 32-op trigger window.  The fork protocol
+    skips all of it after the first trial per hypothesis.
+    """
+    from repro.perf.baseline import measure_snapshot_fork
+
+    fork = run_once(benchmark, measure_snapshot_fork, n_runs=60, seed=0)
+    print(f"\nTrain + Test / timing-window (n_runs=60): "
+          f"legacy {fork['legacy_s']:.3f}s, fork {fork['fork_s']:.3f}s, "
+          f"{fork['speedup']:.2f}x; {fork['forks']} forks, "
+          f"{fork['fork_hit_rate']:.1%} hit rate")
+    assert fork["audited"]
+    assert fork["fork_hit_rate"] > 0.9
+    assert fork["speedup"] >= 1.15, (
+        f"expected the fork protocol to clearly beat warm batching on "
+        f"a prologue-heavy cell, got {fork['speedup']:.2f}x"
+    )
+
+
+def test_snapshot_rsa_prologue_sharing(benchmark):
+    """Repeated RSA leaks share one calibration prologue, bit-exact."""
+    from repro.crypto.leak import RsaAttackConfig, RsaVpAttack
+    from repro.crypto.mpi import Mpi
+    from repro.harness.experiment import FIGURE7_EXPONENT
+    from repro.perf.counters import COUNTERS, PerfCounters
+
+    exponent = Mpi.from_int(FIGURE7_EXPONENT)
+
+    def repeated(snapshot_leaks):
+        attack = RsaVpAttack(
+            RsaAttackConfig(seed=7, snapshot_leaks=snapshot_leaks)
+        )
+        return attack.run_repeated(exponent, 3)
+
+    cold = repeated(False)
+    before = COUNTERS.snapshot()
+    forked = run_once(benchmark, repeated, True)
+    delta = PerfCounters.delta(before, COUNTERS.snapshot())
+
+    assert [leak.observations for leak in forked] == [
+        leak.observations for leak in cold
+    ]
+    assert [leak.decoded_bits for leak in forked] == [
+        leak.decoded_bits for leak in cold
+    ]
+    assert delta.get("snapshot_forks", 0) == 3
+    print(f"\nRSA repeated leaks: {delta.get('snapshot_forks', 0)} forks, "
+          f"{delta.get('snapshot_cycles_avoided', 0)} calibration cycles "
+          f"avoided (byte-identical to cold calibration per pass)")

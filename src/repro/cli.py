@@ -117,6 +117,8 @@ def _cmd_attack(args: argparse.Namespace) -> None:
             defense=parse_defense(args.defense),
             use_oracle=args.oracle,
             modify_mode=args.modify_mode,
+            snapshot_trials=args.snapshot_trials,
+            audit_snapshots=args.audit_snapshots,
         )
         print(f"execution: {cell.classification.value} "
               f"({len(cell.attempts)} attempt(s)"
@@ -134,6 +136,8 @@ def _cmd_attack(args: argparse.Namespace) -> None:
             defense=parse_defense(args.defense),
             use_oracle=args.oracle,
             modify_mode=args.modify_mode,
+            snapshot_trials=args.snapshot_trials,
+            audit_snapshots=args.audit_snapshots,
         )
         result = AttackRunner(variant, config).run_experiment()
     print(result.describe())
@@ -190,6 +194,8 @@ def _cmd_all(args: argparse.Namespace) -> None:
         resume=args.resume, max_retries=args.max_retries,
         fault_profile_name=args.fault_profile,
         workers=args.workers,
+        snapshot_trials=args.snapshot_trials,
+        audit_snapshots=args.audit_snapshots,
     )
     for name, path in sorted(written.items()):
         print(f"{name}: {path}")
@@ -398,6 +404,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="supervise the cell: retries per cell")
     attack.add_argument("--fault-profile", default=None,
                         help="inject faults, e.g. crash, dram-noise, chaos")
+    attack.add_argument("--snapshot-trials", action="store_true",
+                        help="fork trials from a memoized post-prologue "
+                             "machine snapshot instead of re-simulating "
+                             "the train phase per trial")
+    attack.add_argument("--audit-snapshots", action="store_true",
+                        help="with --snapshot-trials: replay every forked "
+                             "trial cold and assert byte-identity")
     attack.set_defaults(func=_cmd_attack)
 
     for name, fn, help_text in (
@@ -494,6 +507,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="process-pool width for the experiment cells; results are "
              "byte-identical for any value (default: $REPRO_WORKERS or 1)",
+    )
+    everything.add_argument(
+        "--snapshot-trials", action="store_true",
+        help="run attack cells under the snapshot trial protocol "
+             "(fork trials from a memoized post-prologue capture)",
+    )
+    everything.add_argument(
+        "--audit-snapshots", action="store_true",
+        help="with --snapshot-trials: replay every forked trial cold "
+             "and assert byte-identity",
     )
     everything.set_defaults(func=_cmd_all)
 

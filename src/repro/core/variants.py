@@ -73,10 +73,34 @@ class AttackVariant(abc.ABC):
     default_chain_length: int = 80
     #: Phases (victim/attacker hand-offs) per trial, for rate modelling.
     num_phases: int = 3
+    #: Whether the train/modify prologue is deterministic w.r.t. the
+    #: DRAM jitter seed: its *timing* varies with the jitter stream,
+    #: but the architectural/VPS state it leaves behind does not (the
+    #: prologue performs a fixed access sequence with no data-dependent
+    #: control flow).  True for all six Table II categories; a variant
+    #: whose prologue consults timing or randomness must set this
+    #: False, which makes the snapshot engine fall back to full replay.
+    prologue_deterministic: bool = True
+
+    def run(self, env: TrialEnv, mapped: bool) -> float:
+        """Run one full trial; returns the receiver's measurement.
+
+        A trial is the train/modify prologue followed by the measured
+        trigger/encode/decode window.  The two halves are separately
+        callable so the snapshot engine (:mod:`repro.snapshot`) can
+        capture post-prologue machine state once per hypothesis and
+        fork every trial straight into :meth:`run_measured`.
+        """
+        self.run_prologue(env, mapped)
+        return self.run_measured(env, mapped)
 
     @abc.abstractmethod
-    def run(self, env: TrialEnv, mapped: bool) -> float:
-        """Run one trial; returns the receiver's measurement."""
+    def run_prologue(self, env: TrialEnv, mapped: bool) -> None:
+        """Set up data values and run the train/modify programs."""
+
+    @abc.abstractmethod
+    def run_measured(self, env: TrialEnv, mapped: bool) -> float:
+        """Run the measured window; returns the receiver's measurement."""
 
     def trigger_pcs(self, layout: Layout) -> List[int]:
         """Load PCs the oracle predictor should serve."""
@@ -157,8 +181,8 @@ class TrainTestAttack(AttackVariant):
     default_chain_length = 32
     num_phases = 3
 
-    def run(self, env: TrialEnv, mapped: bool) -> float:
-        """Run one trial; see :meth:`AttackVariant.run`."""
+    def run_prologue(self, env: TrialEnv, mapped: bool) -> None:
+        """See :meth:`AttackVariant.run_prologue`."""
         self._require_channel(env)
         layout = env.layout
         env.write_receiver_value(layout.receiver_known_addr, VALUE_RECEIVER_KNOWN)
@@ -180,6 +204,9 @@ class TrainTestAttack(AttackVariant):
                 tag="modify-load",
             ))
 
+    def run_measured(self, env: TrialEnv, mapped: bool) -> float:
+        """See :meth:`AttackVariant.run_measured`."""
+        layout = env.layout
         # 3) Trigger + 4/5) encode/decode.
         if env.channel is ChannelType.TIMING_WINDOW:
             result = env.core.run(gadgets.timed_trigger_program(
@@ -231,8 +258,8 @@ class TestHitAttack(AttackVariant):
     #: straddle both (the persistent variant keeps the paper's 0/1).
     far_secret = 64
 
-    def run(self, env: TrialEnv, mapped: bool) -> float:
-        """Run one trial; see :meth:`AttackVariant.run`."""
+    def run_prologue(self, env: TrialEnv, mapped: bool) -> None:
+        """See :meth:`AttackVariant.run_prologue`."""
         self._require_channel(env)
         layout = env.layout
         if env.channel in (ChannelType.TIMING_WINDOW, ChannelType.VOLATILE):
@@ -251,6 +278,9 @@ class TestHitAttack(AttackVariant):
             secret=True,
         ))
 
+    def run_measured(self, env: TrialEnv, mapped: bool) -> float:
+        """See :meth:`AttackVariant.run_measured`."""
+        layout = env.layout
         # 3) Trigger by the receiver at the same index.
         if env.channel is ChannelType.TIMING_WINDOW:
             result = env.core.run(gadgets.timed_trigger_program(
@@ -289,8 +319,8 @@ class TrainHitAttack(AttackVariant):
     default_chain_length = 90
     num_phases = 2
 
-    def run(self, env: TrialEnv, mapped: bool) -> float:
-        """Run one trial; see :meth:`AttackVariant.run`."""
+    def run_prologue(self, env: TrialEnv, mapped: bool) -> None:
+        """See :meth:`AttackVariant.run_prologue`."""
         self._require_channel(env)
         layout = env.layout
         guess = VALUE_SECRET_BASE
@@ -302,6 +332,10 @@ class TrainHitAttack(AttackVariant):
             "trh-train", layout.receiver_pid, layout.receiver_base_pc,
             layout.collide_pc, layout.receiver_known_addr, env.confidence,
         ))
+
+    def run_measured(self, env: TrialEnv, mapped: bool) -> float:
+        """See :meth:`AttackVariant.run_measured`."""
+        layout = env.layout
         result = env.core.run(gadgets.plain_trigger_program(
             "trh-trigger", layout.sender_pid, layout.sender_base_pc,
             layout.collide_pc, layout.secret_addr, env.chain_length,
@@ -327,8 +361,8 @@ class SpillOverAttack(AttackVariant):
     default_chain_length = 110
     num_phases = 3
 
-    def run(self, env: TrialEnv, mapped: bool) -> float:
-        """Run one trial; see :meth:`AttackVariant.run`."""
+    def run_prologue(self, env: TrialEnv, mapped: bool) -> None:
+        """See :meth:`AttackVariant.run_prologue`."""
         self._require_channel(env)
         layout = env.layout
         first_secret = VALUE_SECRET_BASE
@@ -347,6 +381,10 @@ class SpillOverAttack(AttackVariant):
             layout.collide_pc, layout.secret_addr2, 1, tag="modify-load",
             secret=True,
         ))
+
+    def run_measured(self, env: TrialEnv, mapped: bool) -> float:
+        """See :meth:`AttackVariant.run_measured`."""
+        layout = env.layout
         result = env.core.run(gadgets.plain_trigger_program(
             "so-trigger", layout.sender_pid, layout.sender_base_pc,
             layout.collide_pc, layout.secret_addr, env.chain_length,
@@ -377,8 +415,8 @@ class FillUpAttack(AttackVariant):
     #: Persistent decode's candidate for the trained secret value.
     guess_value = VALUE_SECRET_BASE
 
-    def run(self, env: TrialEnv, mapped: bool) -> float:
-        """Run one trial; see :meth:`AttackVariant.run`."""
+    def run_prologue(self, env: TrialEnv, mapped: bool) -> None:
+        """See :meth:`AttackVariant.run_prologue`."""
         self._require_channel(env)
         layout = env.layout
         if env.channel in (ChannelType.TIMING_WINDOW, ChannelType.VOLATILE):
@@ -398,6 +436,10 @@ class FillUpAttack(AttackVariant):
             layout.collide_pc, layout.secret_addr, env.confidence,
             secret=True,
         ))
+
+    def run_measured(self, env: TrialEnv, mapped: bool) -> float:
+        """See :meth:`AttackVariant.run_measured`."""
+        layout = env.layout
         if env.channel is ChannelType.TIMING_WINDOW:
             result = env.core.run(gadgets.plain_trigger_program(
                 "fu-trigger", layout.sender_pid, layout.sender_base_pc,
@@ -437,8 +479,8 @@ class ModifyTestAttack(AttackVariant):
     default_chain_length = 90
     num_phases = 3
 
-    def run(self, env: TrialEnv, mapped: bool) -> float:
-        """Run one trial; see :meth:`AttackVariant.run`."""
+    def run_prologue(self, env: TrialEnv, mapped: bool) -> None:
+        """See :meth:`AttackVariant.run_prologue`."""
         self._require_channel(env)
         layout = env.layout
         # The sender's load PC is its secret: collide_pc iff secret = 1.
@@ -459,6 +501,11 @@ class ModifyTestAttack(AttackVariant):
             layout.collide_pc, layout.receiver_known_addr, count,
             tag="modify-load",
         ))
+
+    def run_measured(self, env: TrialEnv, mapped: bool) -> float:
+        """See :meth:`AttackVariant.run_measured`."""
+        layout = env.layout
+        sender_pc = layout.collide_pc if mapped else layout.alt_pc
         result = env.core.run(gadgets.plain_trigger_program(
             "mt-trigger", layout.sender_pid, layout.sender_base_pc,
             sender_pc, layout.secret_addr, env.chain_length,

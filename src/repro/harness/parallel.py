@@ -49,6 +49,7 @@ from repro.harness.runner import (
     SupervisedCell,
     _PANEL_SPECS,
     _slug,
+    snapshot_overrides,
 )
 from repro.memory.hierarchy import MemoryConfig
 from repro.perf.counters import COUNTERS, PerfCounters
@@ -98,6 +99,8 @@ class CellSpec:
     n_runs: int = 100
     seed: int = 0
     exponent: Optional[int] = None
+    snapshot_trials: bool = False
+    audit_snapshots: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in ("experiment", "rsa"):
@@ -118,6 +121,8 @@ def sweep_specs(
     n_runs: int = 100,
     seed: int = 0,
     predictor: str = "lvp",
+    snapshot_trials: bool = False,
+    audit_snapshots: bool = False,
 ) -> List[CellSpec]:
     """The supervised cells behind the chosen ``repro all`` artifacts.
 
@@ -141,6 +146,8 @@ def sweep_specs(
                 predictor=panel_predictor,
                 n_runs=n_runs,
                 seed=seed,
+                snapshot_trials=snapshot_trials,
+                audit_snapshots=audit_snapshots,
             ))
     if "fig7" in artifacts:
         from repro.harness.experiment import FIGURE7_EXPONENT
@@ -169,6 +176,8 @@ def sweep_specs(
                     predictor=cell_predictor,
                     n_runs=n_runs,
                     seed=seed,
+                    snapshot_trials=snapshot_trials,
+                    audit_snapshots=audit_snapshots,
                 ))
     return specs
 
@@ -191,6 +200,7 @@ def execute_spec(spec: CellSpec, executor: ResilientExecutor) -> SupervisedCell:
         spec.predictor,
         spec.n_runs,
         spec.seed,
+        **snapshot_overrides(spec.snapshot_trials, spec.audit_snapshots),
     )
 
 

@@ -152,6 +152,8 @@ def run_all(
     policy: Optional[ExecutionPolicy] = None,
     checkpoint_dir: Optional[str] = None,
     workers: Optional[int] = None,
+    snapshot_trials: bool = False,
+    audit_snapshots: bool = False,
 ) -> Dict[str, str]:
     """Regenerate and persist the selected artifacts, resumably.
 
@@ -177,6 +179,14 @@ def run_all(
             assembly below then reuses every journaled cell — the
             resume path — so records are byte-identical to a serial
             run for any worker count.
+        snapshot_trials: Run the attack cells under the snapshot trial
+            protocol (:attr:`repro.core.attack.AttackConfig.snapshot_trials`).
+            Recorded in the checkpoint metadata, so a ``--resume``
+            against a run of the other protocol is rejected instead of
+            silently mixing seed schedules.
+        audit_snapshots: Additionally replay every forked trial cold
+            and assert byte-identity (implies ``snapshot_trials``
+            validation downstream).
 
     Returns:
         Mapping from artifact name to the path of its rendering.
@@ -194,7 +204,14 @@ def run_all(
             raise HarnessError(f"unknown artifact {name!r}; choose from {known}")
 
     written: Dict[str, str] = {}
-    meta = {"version": __version__, "n_runs": n_runs, "seed": seed}
+    meta: Dict[str, object] = {
+        "version": __version__, "n_runs": n_runs, "seed": seed,
+    }
+    if snapshot_trials:
+        # Only recorded when on: legacy-protocol checkpoints keep their
+        # historical metadata shape, and a resume across protocols
+        # fails the metadata compatibility check.
+        meta["snapshot_trials"] = True
     supervised_chosen = [
         name for name in chosen if name in ("fig5", "fig7", "fig8", "table3")
     ]
@@ -237,7 +254,11 @@ def run_all(
             # writer).  The assembly code below then finds every cell
             # cached and reuses it byte-for-byte.
             run_cells(
-                sweep_specs(supervised_chosen, n_runs=n_runs, seed=seed),
+                sweep_specs(
+                    supervised_chosen, n_runs=n_runs, seed=seed,
+                    snapshot_trials=snapshot_trials,
+                    audit_snapshots=audit_snapshots,
+                ),
                 store,
                 effective_policy,
                 workers=effective_workers,
@@ -262,7 +283,8 @@ def run_all(
         written["table2"] = path
     if "fig5" in chosen:
         panels = figure_panels_supervised(
-            executor, TrainTestAttack(), "fig5", n_runs=n_runs, seed=seed
+            executor, TrainTestAttack(), "fig5", n_runs=n_runs, seed=seed,
+            snapshot_trials=snapshot_trials, audit_snapshots=audit_snapshots,
         )
         processed.extend(cell for _, cell in panels)
         path = os.path.join(out_dir, "fig5.txt")
@@ -279,7 +301,8 @@ def run_all(
         written["fig5"] = path
     if "fig8" in chosen:
         panels = figure_panels_supervised(
-            executor, TestHitAttack(), "fig8", n_runs=n_runs, seed=seed
+            executor, TestHitAttack(), "fig8", n_runs=n_runs, seed=seed,
+            snapshot_trials=snapshot_trials, audit_snapshots=audit_snapshots,
         )
         processed.extend(cell for _, cell in panels)
         path = os.path.join(out_dir, "fig8.txt")
@@ -312,7 +335,10 @@ def run_all(
             )
         written["fig7"] = path
     if "table3" in chosen:
-        supervised = table3_supervised(executor, n_runs=n_runs, seed=seed)
+        supervised = table3_supervised(
+            executor, n_runs=n_runs, seed=seed,
+            snapshot_trials=snapshot_trials, audit_snapshots=audit_snapshots,
+        )
         processed.extend(
             cell for cells in supervised.values()
             for cell in cells.values() if cell is not None

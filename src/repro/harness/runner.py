@@ -699,21 +699,42 @@ _PANEL_SPECS: Tuple[Tuple[str, ChannelType, str], ...] = (
 )
 
 
+def snapshot_overrides(
+    snapshot_trials: bool, audit_snapshots: bool
+) -> Dict[str, object]:
+    """Sparse :class:`~repro.core.attack.AttackConfig` overrides.
+
+    Only set flags are included, so legacy-protocol call sites build
+    exactly the kwargs they always did (and journal byte-identity with
+    historical runs is preserved).
+    """
+    overrides: Dict[str, object] = {}
+    if snapshot_trials:
+        overrides["snapshot_trials"] = True
+    if audit_snapshots:
+        overrides["audit_snapshots"] = True
+    return overrides
+
+
 def figure_panels_supervised(
     executor: ResilientExecutor,
     variant: AttackVariant,
     figure: str,
     n_runs: int = 100,
     seed: int = 0,
+    snapshot_trials: bool = False,
+    audit_snapshots: bool = False,
 ) -> List[Tuple[str, SupervisedCell]]:
     """Supervised Figure 5/8 panels for ``variant``."""
+    overrides = snapshot_overrides(snapshot_trials, audit_snapshots)
     panels: List[Tuple[str, SupervisedCell]] = []
     for title, channel, predictor in _PANEL_SPECS:
         cell_id = f"{figure}/{channel.value}-{predictor}"
         panels.append((
             title,
             executor.run_cell_supervised(
-                cell_id, variant, channel, predictor, n_runs, seed
+                cell_id, variant, channel, predictor, n_runs, seed,
+                **overrides,
             ),
         ))
     return panels
@@ -724,8 +745,11 @@ def table3_supervised(
     n_runs: int = 100,
     seed: int = 0,
     predictor: str = "lvp",
+    snapshot_trials: bool = False,
+    audit_snapshots: bool = False,
 ) -> Dict[AttackCategory, Dict[str, Optional[SupervisedCell]]]:
     """Supervised Table III sweep; resumes over the executor's store."""
+    overrides = snapshot_overrides(snapshot_trials, audit_snapshots)
     results: Dict[AttackCategory, Dict[str, Optional[SupervisedCell]]] = {}
     for variant in ALL_VARIANTS:
         slug = _slug(variant.category.value)
@@ -744,7 +768,7 @@ def table3_supervised(
         for key, channel, cell_predictor in specs:
             cells[key] = executor.run_cell_supervised(
                 f"table3/{slug}/{key}", variant, channel, cell_predictor,
-                n_runs, seed,
+                n_runs, seed, **overrides,
             )
         results[variant.category] = cells
     return results

@@ -1,11 +1,14 @@
 """Performance observability baseline: the ``repro perf`` command.
 
-Three measurements, all on the host that runs them:
+Four measurements, all on the host that runs them:
 
 * **warm batching** — one representative attack cell executed twice,
   with the warm-machine reset protocol on and off, to quantify the
   single-core gain from reusing the Core/MemorySystem pair across
   trials (and to re-check that both modes agree bit-for-bit);
+* **snapshot fork** — the same cell under the legacy and the snapshot
+  trial protocols (:mod:`repro.snapshot`): fork hit rate, simulated
+  cycles avoided, bytes copied, plus an audited equivalence pass;
 * **serial sweep** — a small supervised sweep through
   :func:`repro.harness.parallel.run_cells` at ``workers=1``:
   cells/second, simulated cycles/second, and the program/trace cache
@@ -103,6 +106,61 @@ def measure_warm_batching(
     }
 
 
+def measure_snapshot_fork(
+    n_runs: int = 40, seed: int = 0, audit_runs: int = 8,
+) -> Dict[str, Any]:
+    """Time one cell under the legacy and the snapshot trial protocols.
+
+    The speedup compares the PR 3 warm-batched reset protocol against
+    forking trials from the memoized post-prologue capture
+    (:mod:`repro.snapshot`).  A short audited pass afterwards replays
+    every fork cold and raises on any divergence, so the number comes
+    with a per-invocation equivalence check.
+    """
+    from repro.harness.experiment import run_cell
+    from repro.perf.counters import COUNTERS, PerfCounters
+
+    variant = _variant_by_name(_WARM_VARIANT)
+
+    def one(**overrides):
+        return run_cell(
+            variant, _WARM_CHANNEL, _WARM_PREDICTOR,
+            n_runs=n_runs, seed=seed, **overrides,
+        )
+
+    one(snapshot_trials=True)  # warm-up: populate gadget/trace caches
+    watch = Stopwatch()
+    with watch:
+        one()
+    legacy_s = watch.elapsed
+    before = COUNTERS.snapshot()
+    watch = Stopwatch()
+    with watch:
+        one(snapshot_trials=True)
+    fork_s = watch.elapsed
+    delta = PerfCounters.delta(before, COUNTERS.snapshot())
+    hits = delta.get("snapshot_prologue_hits", 0)
+    misses = delta.get("snapshot_prologue_misses", 0)
+    # Untimed equivalence audit: raises AttackError on any divergence.
+    run_cell(
+        variant, _WARM_CHANNEL, _WARM_PREDICTOR,
+        n_runs=min(n_runs, max(audit_runs, 2)), seed=seed,
+        snapshot_trials=True, audit_snapshots=True,
+    )
+    return {
+        "cell": f"{_WARM_VARIANT} / {_WARM_CHANNEL.value} / {_WARM_PREDICTOR}",
+        "n_runs": n_runs,
+        "legacy_s": legacy_s,
+        "fork_s": fork_s,
+        "speedup": legacy_s / fork_s if fork_s > 0 else 0.0,
+        "forks": delta.get("snapshot_forks", 0),
+        "fork_hit_rate": _rate(hits, misses),
+        "cycles_avoided": delta.get("snapshot_cycles_avoided", 0),
+        "bytes_copied": delta.get("snapshot_bytes_copied", 0),
+        "audited": True,
+    }
+
+
 def _sweep_pass(
     specs: Sequence[CellSpec],
     workers: int,
@@ -149,6 +207,9 @@ def perf_baseline(
     say("warm batching: 1 cell, batch_trials on/off ...")
     warm = measure_warm_batching(n_runs=max(n_runs, 20), seed=seed)
 
+    say("snapshot fork: 1 cell, snapshot_trials on/off + audit ...")
+    snapshot_fork = measure_snapshot_fork(n_runs=max(n_runs, 20), seed=seed)
+
     if profile_path:
         # Separate pass: the profiler's tracing overhead would inflate
         # the serial time and with it the reported parallel speedup.
@@ -174,6 +235,7 @@ def perf_baseline(
         "artifacts": list(artifacts),
         "cells": len(specs),
         "warm_batching": warm,
+        "snapshot_fork": snapshot_fork,
         "serial": {
             **serial.to_payload(),
             "program_cache_hit_rate": _rate(
@@ -218,6 +280,24 @@ def render_perf_report(report: Dict[str, Any]) -> str:
         f"speedup {warm['speedup']:.2f}x"
         + ("   [results identical]" if warm["identical"] else "")
     )
+    fork = report.get("snapshot_fork")
+    if fork is not None:
+        lines.append("")
+        lines.append(
+            f"snapshot fork ({fork['cell']}, n_runs={fork['n_runs']}):"
+        )
+        lines.append(
+            f"  legacy warm   : {fork['legacy_s']:7.3f} s   "
+            f"fork trials: {fork['fork_s']:7.3f} s   "
+            f"speedup {fork['speedup']:.2f}x"
+            + ("   [audit passed]" if fork.get("audited") else "")
+        )
+        lines.append(
+            f"  {fork['forks']} forks, "
+            f"{fork['fork_hit_rate'] * 100:.1f}% fork hit rate, "
+            f"{fork['cycles_avoided'] / 1e6:.2f}M cycles avoided, "
+            f"{fork['bytes_copied'] / 1e6:.2f} MB copied"
+        )
     serial = report["serial"]
     lines.append("")
     lines.append(

@@ -82,6 +82,7 @@ def memoize_program(maxsize: int = DEFAULT_MAXSIZE) -> Callable[[_F], _F]:
                 cache[key] = result
                 if len(cache) > maxsize:
                     cache.popitem(last=False)
+                    COUNTERS.program_cache_evictions += 1
                 return result
             COUNTERS.program_cache_hits += 1
             cache.move_to_end(key)

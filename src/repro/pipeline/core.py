@@ -130,6 +130,26 @@ class Core:
         self.total_retired = 0
         self._seq = 0
 
+    def snapshot(self) -> object:
+        """Capture the core's persistent state (snapshot/fork protocol).
+
+        Between :meth:`run_concurrent` calls the core holds no
+        in-flight pipeline state — every ``_RunState`` (ROB, rename
+        map, store buffer, event heap) is created inside
+        ``run_concurrent`` and discarded when it returns — so the
+        persistent state is exactly the four counters that survive
+        across runs.  Snapshots are only meaningful at this run
+        boundary; the predictor and memory hierarchy are captured
+        separately (:mod:`repro.snapshot`).
+        """
+        return (self.cycle, self.total_squashes, self.total_retired,
+                self._seq)
+
+    def restore(self, state: object) -> None:
+        """Restore state captured by :meth:`snapshot`."""
+        (self.cycle, self.total_squashes, self.total_retired,
+         self._seq) = state  # type: ignore[misc]
+
     # ------------------------------------------------------------------
     def run(self, program: Program) -> RunResult:
         """Execute ``program`` to completion and return its results."""
@@ -263,7 +283,7 @@ class _RunState:
         "fetch_index", "dispatch_stall_until", "fence_active",
         "retired", "squashes", "rdtsc_values", "load_events",
         "unverified_predictions", "deferred_fills", "pending_issue",
-        "_earliest_completion", "_event_heap",
+        "issued_uops", "_earliest_completion", "_event_heap",
     )
 
     def __init__(self, core: Core, program: Program,
@@ -299,6 +319,11 @@ class _RunState:
         # scan-cost optimisation: the issue stage walks this instead of
         # the whole ROB).
         self.pending_issue: List[MicroOp] = []
+        # Ops issued but not yet completed (the complement of
+        # pending_issue): completion scans walk this short list instead
+        # of the whole ROB, which for long dependent-chain windows is
+        # mostly DISPATCHED ops that cannot complete anyway.
+        self.issued_uops: List[MicroOp] = []
         # Earliest pending completion among ISSUED ops, or None; lets
         # completion scans exit immediately on quiet cycles.
         self._earliest_completion: Optional[int] = None
@@ -321,7 +346,7 @@ class _RunState:
 
     def _recompute_earliest_completion(self) -> None:
         earliest: Optional[int] = None
-        for uop in self.rob:
+        for uop in self.issued_uops:
             if uop.state is UopState.ISSUED and uop.complete_cycle is not None:
                 if earliest is None or uop.complete_cycle < earliest:
                     earliest = uop.complete_cycle
@@ -341,7 +366,7 @@ class _RunState:
         progress = False
         while True:
             candidate: Optional[MicroOp] = None
-            for uop in self.rob:
+            for uop in self.issued_uops:
                 if uop.state is not UopState.ISSUED:
                     continue
                 if uop.complete_cycle is None or uop.complete_cycle > cycle:
@@ -352,6 +377,10 @@ class _RunState:
                 ):
                     candidate = uop
             if candidate is None:
+                self.issued_uops = [
+                    uop for uop in self.issued_uops
+                    if uop.state is UopState.ISSUED
+                ]
                 self._recompute_earliest_completion()
                 return progress
             progress = True
@@ -426,6 +455,10 @@ class _RunState:
             uop for uop in self.pending_issue
             if uop.state is not UopState.SQUASHED
         ]
+        self.issued_uops = [
+            uop for uop in self.issued_uops
+            if uop.state is UopState.ISSUED
+        ]
         self._recompute_earliest_completion()
         for uop in squashed:
             self.unverified_predictions.pop(uop.seq, None)
@@ -489,7 +522,7 @@ class _RunState:
         budget = self.config.commit_width
         while budget > 0 and self.rob:
             head = self.rob[0]
-            if head.state is UopState.DISPATCHED and head.instr.is_serialising:
+            if head.state is UopState.DISPATCHED and head.serial_op:
                 # RDTSC / FENCE execute once they reach the head with
                 # the machine drained (in-order ancestors retired).
                 head.state = UopState.COMPLETED
@@ -555,14 +588,21 @@ class _RunState:
                 # ops), or squashed: drop from the pending list.
                 continue
             op = uop.instr.op
-            if uop.instr.is_serialising:
+            if uop.serial_op:
                 leftovers.append(uop)  # handled at the ROB head by commit()
                 continue
-            if uop.instr.is_memory:
+            if uop.mem_op:
                 if memory_blocked:
                     leftovers.append(uop)
                     continue
-                if not uop.sources_ready(cycle) or ports.mem <= 0:
+                # ready_hint is checked inline before the call: the
+                # compare alone rejects most waiting ops and the
+                # function-call overhead was itself hot.
+                if (
+                    uop.ready_hint > cycle
+                    or not uop.ready_for_issue(cycle)
+                    or ports.mem <= 0
+                ):
                     memory_blocked = True
                     leftovers.append(uop)
                     continue
@@ -571,7 +611,7 @@ class _RunState:
                 progress = True
                 self._issue_memory(uop, cycle)
                 continue
-            if not uop.sources_ready(cycle):
+            if uop.ready_hint > cycle or not uop.ready_for_issue(cycle):
                 leftovers.append(uop)
                 continue
             if op in (Opcode.NOP, Opcode.HALT):
@@ -579,6 +619,7 @@ class _RunState:
                 uop.issue_cycle = cycle
                 uop.value_ready_cycle = cycle + 1
                 uop.complete_cycle = cycle + 1
+                self.issued_uops.append(uop)
                 self._note_completion_time(cycle + 1)
                 budget -= 1
                 progress = True
@@ -590,6 +631,7 @@ class _RunState:
                 latency = self.config.alu_latency
                 uop.value_ready_cycle = cycle + latency
                 uop.complete_cycle = cycle + latency
+                self.issued_uops.append(uop)
                 self._note_completion_time(cycle + latency)
                 budget -= 1
                 progress = True
@@ -615,6 +657,7 @@ class _RunState:
             uop.issue_cycle = cycle
             uop.value_ready_cycle = cycle + latency
             uop.complete_cycle = cycle + latency
+            self.issued_uops.append(uop)
             self._note_completion_time(cycle + latency)
             if needs_mul:
                 ports.mul -= 1
@@ -660,6 +703,7 @@ class _RunState:
         op = uop.instr.op
         uop.state = UopState.ISSUED
         uop.issue_cycle = cycle
+        self.issued_uops.append(uop)
         uop.addr = self._effective_address(uop)
         uop.spec_src = self._speculative_source(uop)
 

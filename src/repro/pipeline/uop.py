@@ -6,7 +6,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.isa.instructions import Instruction
+from repro.isa.instructions import Instruction, Opcode
 from repro.vp.base import Prediction
 
 
@@ -75,6 +75,21 @@ class MicroOp:
     issue_cycle: Optional[int] = None
     actual_value: Optional[int] = None
     vps_key: Optional[object] = None
+    #: Static opcode classification, precomputed at fetch so the issue
+    #: scan reads a slot instead of re-deriving it from the instruction
+    #: every cycle (the scan touches every waiting uop every active
+    #: cycle, which made these property calls the hottest line of long
+    #: dependent-chain windows).
+    mem_op: bool = False
+    serial_op: bool = False
+    #: Lower bound on the earliest cycle at which every source operand
+    #: can be available; maintained by :meth:`ready_for_issue`.
+    ready_hint: int = 0
+
+    def __post_init__(self) -> None:
+        op = self.instr.op
+        self.mem_op = op in (Opcode.LOAD, Opcode.STORE, Opcode.FLUSH)
+        self.serial_op = op in (Opcode.FENCE, Opcode.RDTSC)
 
     @property
     def is_load(self) -> bool:
@@ -99,6 +114,39 @@ class MicroOp:
                 return False
             if not producer.value_available(cycle):
                 return False
+        return True
+
+    def ready_for_issue(self, cycle: int) -> bool:
+        """:meth:`sources_ready`, memoized with a monotone lower bound.
+
+        ``ready_hint`` caches a lower bound on the earliest cycle at
+        which every source can be available, so the issue scan skips
+        waiting uops with one integer compare instead of re-walking
+        their source producers every cycle.  The bound is sound
+        because availability times only move in one direction: a
+        producer's ``value_ready_cycle`` is fixed when it issues and
+        is only ever *delayed* afterwards (value-misprediction
+        verification), an unissued producer seen at ``cycle`` cannot
+        feed a consumer before ``cycle + 1`` (unit minimum latency),
+        and a squash discards every younger uop, so stale hints die
+        with the objects that hold them.
+        """
+        if cycle < self.ready_hint:
+            return False
+        hint = 0
+        for producer in self.sources.values():
+            if producer is None:
+                continue
+            if producer.state is UopState.SQUASHED:
+                return False
+            ready = producer.value_ready_cycle
+            if ready is None:
+                ready = cycle + 1
+            if ready > cycle and ready > hint:
+                hint = ready
+        if hint > cycle:
+            self.ready_hint = hint
+            return False
         return True
 
     def source_value(self, reg: int, arch_read) -> int:

@@ -41,6 +41,26 @@ class TestPerfCounters:
         counters.reset()
         assert all(value == 0 for value in counters.snapshot().values())
 
+    def test_snapshot_fork_hit_rate(self):
+        counters = PerfCounters()
+        assert counters.snapshot_fork_hit_rate == 0.0
+        counters.snapshot_prologue_hits = 9
+        counters.snapshot_prologue_misses = 1
+        assert counters.snapshot_fork_hit_rate == pytest.approx(0.9)
+
+    def test_snapshot_counters_roundtrip(self):
+        counters = PerfCounters()
+        counters.snapshot_forks = 4
+        counters.snapshot_cycles_avoided = 1000
+        counters.snapshot_bytes_copied = 2048
+        delta = PerfCounters.delta(PerfCounters().snapshot(),
+                                   counters.snapshot())
+        assert delta == {
+            "snapshot_forks": 4,
+            "snapshot_cycles_avoided": 1000,
+            "snapshot_bytes_copied": 2048,
+        }
+
     def test_global_singleton_counts_simulation(self):
         from repro.core.channels import ChannelType
         from repro.harness.experiment import run_cell
@@ -104,10 +124,28 @@ class TestMemoizeProgram:
         def build(n):
             return n
 
+        before = COUNTERS.snapshot()
         build(1), build(2), build(3)
         assert build.cache_len() == 2
+        delta = PerfCounters.delta(before, COUNTERS.snapshot())
+        assert delta["program_cache_evictions"] == 1
         build.cache_clear()
         assert build.cache_len() == 0
+
+    def test_eviction_count_bounded_by_misses(self):
+        @memoize_program(maxsize=3)
+        def build(n):
+            return n
+
+        before = COUNTERS.snapshot()
+        for n in range(10):
+            build(n)
+        delta = PerfCounters.delta(before, COUNTERS.snapshot())
+        assert delta["program_cache_misses"] == 10
+        # The cache never evicts more than it admitted beyond its
+        # capacity bound.
+        assert delta["program_cache_evictions"] == 10 - 3
+        assert build.cache_len() == 3
 
     def test_gadget_factories_are_memoized(self):
         from repro.workloads.gadgets import train_program
@@ -158,6 +196,9 @@ class TestBaseline:
         )
         assert report["cells"] == 4
         assert report["warm_batching"]["identical"] is True
+        assert report["snapshot_fork"]["audited"] is True
+        assert report["snapshot_fork"]["forks"] > 0
+        assert report["snapshot_fork"]["fork_hit_rate"] > 0.5
         assert report["serial"]["cells_run"] == 4
         assert report["parallel"]["workers"] == 2
         assert report["parallel"]["speedup"] > 0
@@ -166,6 +207,7 @@ class TestBaseline:
 
         rendered = render_perf_report(report)
         assert "warm batching" in rendered
+        assert "snapshot fork" in rendered
         assert "serial sweep" in rendered
         assert "parallel sweep" in rendered
 
