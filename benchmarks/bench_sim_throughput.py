@@ -147,7 +147,7 @@ def test_parallel_sweep_speedup():
     from repro.harness.checkpoint import CheckpointStore
     from repro.harness.parallel import run_cells, sweep_specs
     from repro.harness.runner import ExecutionPolicy
-    from repro.perf.observe import write_bench_snapshot
+    from repro.perf.observe import write_bench_snapshot, write_sweep_trajectory
 
     specs = sweep_specs(["table3"], n_runs=8, seed=0)
     meta = {"version": __version__, "n_runs": 8, "seed": 0}
@@ -178,6 +178,14 @@ def test_parallel_sweep_speedup():
         "serial": serial.to_payload(),
         "parallel": parallel.to_payload(),
         "speedup": speedup,
+    })
+    write_sweep_trajectory("bench_parallel_sweep", {
+        "cells": len(specs),
+        "n_runs": 8,
+        "wall_clock_s": parallel.elapsed_s,
+        "cells_per_s": parallel.cells_per_s,
+        "trials_simulated": parallel.counters.get("trials", 0),
+        "speedup_vs_serial": speedup,
     })
     if (os.cpu_count() or 1) >= 4:
         assert speedup >= 3.0, (

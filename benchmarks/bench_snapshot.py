@@ -80,7 +80,7 @@ def _sweep_pass(**overrides):
 def test_snapshot_fork_sweep_speedup(benchmark):
     """Fork-path Table III sweep: audited, and >= 2x over PR 3."""
     from repro.perf.counters import COUNTERS, PerfCounters
-    from repro.perf.observe import write_bench_snapshot
+    from repro.perf.observe import write_bench_snapshot, write_sweep_trajectory
 
     # Warm the program/trace caches so neither timed pass pays
     # first-build costs the other skipped.
@@ -135,6 +135,15 @@ def test_snapshot_fork_sweep_speedup(benchmark):
             key: value for key, value in delta.items()
             if key.startswith("snapshot_")
         },
+    })
+    write_sweep_trajectory("bench_snapshot_fork", {
+        "cells": _BASELINE_CELLS,
+        "n_runs": 8,
+        "wall_clock_s": fork_s,
+        "cells_per_s": _BASELINE_CELLS / fork_s if fork_s > 0 else 0.0,
+        "trials_simulated": fork_stats.counters.get("trials", 0),
+        "cycles_avoided": delta.get("snapshot_cycles_avoided", 0),
+        "speedup_vs_legacy": fork_vs_legacy,
     })
 
     assert delta.get("snapshot_forks", 0) > 0

@@ -183,6 +183,16 @@ def _record_rows(cell_name: str, record) -> List[Dict[str, object]]:
         # (no predictor) is expected to show nothing either way.
         predicted = static_effective and predictor not in ("none", "")
         agree = predicted == dynamic
+    sequential = record.get("sequential")
+    effective_n = record.get("mapped_samples")
+    planned_n: Optional[int] = None
+    stopped_early: Optional[bool] = None
+    if isinstance(sequential, dict):
+        # Group-sequential cells report how much of the trial budget
+        # the verdict actually consumed.
+        effective_n = sequential.get("effective_n", effective_n)
+        planned_n = sequential.get("planned_n")
+        stopped_early = sequential.get("stopped_early")
     return [{
         "cell": cell_name,
         "variant": record.get("variant", ""),
@@ -192,6 +202,9 @@ def _record_rows(cell_name: str, record) -> List[Dict[str, object]]:
         "static_effective": static_effective,
         "dynamic_effective": dynamic,
         "pvalue": record.get("pvalue"),
+        "effective_n": effective_n,
+        "planned_n": planned_n,
+        "stopped_early": stopped_early,
         "agree": agree,
     }]
 
@@ -224,7 +237,8 @@ def render_agreement(rows: Sequence[Dict[str, object]]) -> str:
     if not rows:
         return "no supervised cells with results found"
     lines = [
-        f"{'cell':58s} {'static':8s} {'dynamic':8s} {'p-value':>9s} agree",
+        f"{'cell':58s} {'static':8s} {'dynamic':8s} {'p-value':>9s} "
+        f"{'eff-n':>9s} agree",
     ]
     agreed = disagreed = unknown = 0
     for row in rows:
@@ -235,6 +249,16 @@ def render_agreement(rows: Sequence[Dict[str, object]]) -> str:
         dynamic_text = "attack" if row["dynamic_effective"] else "no-attk"
         pvalue = row["pvalue"]
         pvalue_text = "" if pvalue is None else f"{pvalue:9.4f}"
+        # Effective-N: "24/100" when a sequential cell stopped early,
+        # a plain count otherwise ("" for legacy records without one).
+        effective_n = row.get("effective_n")
+        planned_n = row.get("planned_n")
+        if effective_n is None:
+            n_text = ""
+        elif planned_n is not None:
+            n_text = f"{effective_n}/{planned_n}"
+        else:
+            n_text = str(effective_n)
         agree = row["agree"]
         if agree is None:
             agree_text = "n/a"
@@ -247,7 +271,7 @@ def render_agreement(rows: Sequence[Dict[str, object]]) -> str:
             disagreed += 1
         lines.append(
             f"{row['cell']:58.58s} {static_text:8s} {dynamic_text:8s} "
-            f"{pvalue_text:>9s} {agree_text}"
+            f"{pvalue_text:>9s} {n_text:>9s} {agree_text}"
         )
     lines.append(
         f"{agreed} agree, {disagreed} disagree, {unknown} without "

@@ -14,6 +14,8 @@ Examples::
     python -m repro lint --code
     python -m repro report --dir out
     python -m repro all --out out --workers 4
+    python -m repro all --out out --sequential
+    python -m repro attack --variant "Train + Test" --sequential
     python -m repro perf --workers 4 --profile sweep.pstats
 """
 
@@ -78,6 +80,54 @@ def parse_defense(text: Optional[str]) -> Optional[Defense]:
     return DefenseStack(components)
 
 
+def _sequential_policy(args: argparse.Namespace):
+    """The :class:`SequentialPolicy` requested by the CLI flags.
+
+    Returns ``None`` for fixed-N runs (the default and ``--fixed-n``,
+    which exists so validation scripts can *assert* the byte-identical
+    historical behaviour explicitly).
+    """
+    from repro.harness.runner import SequentialPolicy
+
+    if args.fixed_n and args.sequential:
+        raise ReproError("--fixed-n and --sequential are mutually exclusive")
+    if not args.sequential:
+        if args.interim_looks:
+            raise ReproError("--interim-looks requires --sequential")
+        return None
+    looks = None
+    if args.interim_looks:
+        try:
+            looks = tuple(
+                int(part) for part in args.interim_looks.split(",")
+            )
+        except ValueError:
+            raise ReproError(
+                "--interim-looks must be comma-separated trial counts, "
+                f"got {args.interim_looks!r}"
+            ) from None
+    return SequentialPolicy(looks=looks)
+
+
+def _add_sequential_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sequential", action="store_true",
+        help="group-sequential early stopping: examine each cell at "
+             "interim looks against an alpha-spending boundary and "
+             "stop as soon as the verdict is decisive",
+    )
+    parser.add_argument(
+        "--interim-looks", default=None, metavar="N1,N2,...",
+        help="with --sequential: explicit cumulative trial counts for "
+             "the interim looks (default: 20/40/60/80/100%% of --runs)",
+    )
+    parser.add_argument(
+        "--fixed-n", action="store_true",
+        help="assert the historical fixed-N protocol (byte-identical "
+             "artifacts; rejects --sequential)",
+    )
+
+
 def _cmd_table1(args: argparse.Namespace) -> None:
     print(render_table1())
 
@@ -92,18 +142,27 @@ def _cmd_fig2(args: argparse.Namespace) -> None:
 
 def _cmd_attack(args: argparse.Namespace) -> None:
     variant = variant_by_name(args.variant)
-    if args.fault_profile or args.max_retries is not None:
+    seq_policy = _sequential_policy(args)
+    if seq_policy is not None or args.fault_profile or (
+        args.max_retries is not None
+    ):
         # Route through the resilient executor: retries, adaptive
-        # re-measurement and (optional) fault injection.
+        # re-measurement, sequential early stopping and (optional)
+        # fault injection.
+        import dataclasses
+
         from repro.harness.faults import FaultInjector, fault_profile
         from repro.harness.runner import ExecutionPolicy, ResilientExecutor
 
+        policy = ExecutionPolicy.robust(
+            max_retries=(
+                args.max_retries if args.max_retries is not None else 2
+            )
+        )
+        if seq_policy is not None:
+            policy = dataclasses.replace(policy, sequential=seq_policy)
         executor = ResilientExecutor(
-            ExecutionPolicy.robust(
-                max_retries=(
-                    args.max_retries if args.max_retries is not None else 2
-                )
-            ),
+            policy,
             injector=(
                 FaultInjector(fault_profile(args.fault_profile),
                               seed=args.seed)
@@ -123,6 +182,13 @@ def _cmd_attack(args: argparse.Namespace) -> None:
         print(f"execution: {cell.classification.value} "
               f"({len(cell.attempts)} attempt(s)"
               f"{', ' + cell.note if cell.note else ''})")
+        if cell.sequential is not None:
+            seq = cell.sequential
+            stopped = ", stopped early" if seq["stopped_early"] else ""
+            print(f"sequential: effective n "
+                  f"{seq['effective_n']}/{seq['planned_n']} after "
+                  f"{len(seq['looks'])} look(s){stopped}, "
+                  f"{seq['trials_avoided']} trial(s) avoided")
         if cell.result is None:
             raise ReproError(f"cell failed permanently: {cell.note}")
         result = cell.result
@@ -196,6 +262,7 @@ def _cmd_all(args: argparse.Namespace) -> None:
         workers=args.workers,
         snapshot_trials=args.snapshot_trials,
         audit_snapshots=args.audit_snapshots,
+        sequential=_sequential_policy(args),
     )
     for name, path in sorted(written.items()):
         print(f"{name}: {path}")
@@ -411,6 +478,7 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--audit-snapshots", action="store_true",
                         help="with --snapshot-trials: replay every forked "
                              "trial cold and assert byte-identity")
+    _add_sequential_flags(attack)
     attack.set_defaults(func=_cmd_attack)
 
     for name, fn, help_text in (
@@ -518,6 +586,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --snapshot-trials: replay every forked trial cold "
              "and assert byte-identity",
     )
+    _add_sequential_flags(everything)
     everything.set_defaults(func=_cmd_all)
 
     perf = sub.add_parser(

@@ -491,36 +491,149 @@ class AttackRunner:
                 f"cold=({cold.measurement!r}, {cold.sim_cycles})"
             )
 
+    def run_incremental(self) -> "IncrementalExperiment":
+        """Open a trial-streaming view over this experiment.
+
+        The returned :class:`IncrementalExperiment` yields trials in
+        boundary-aligned batches via :meth:`IncrementalExperiment.advance`
+        without re-simulating earlier ones.  Because every trial's seed
+        is a pure function of ``(config.seed, trial_index, hypothesis)``
+        — see :meth:`run_trial` — trial ``k`` is byte-identical whether
+        reached by streaming or by a cold fixed-N
+        :meth:`run_experiment`, and the protocol composes with warm
+        batching and snapshot forks unchanged (both live below
+        :meth:`run_trial`).
+        """
+        return IncrementalExperiment(self)
+
     def run_experiment(self) -> ExperimentResult:
         """Run the full mapped-vs-unmapped experiment (paper: 100 runs)."""
-        mapped = TimingDistribution("mapped")
-        unmapped = TimingDistribution("unmapped")
-        total_cycles = 0
-        for index in range(self.config.n_runs):
-            mapped_trial = self.run_trial(True, index)
-            unmapped_trial = self.run_trial(False, index)
-            mapped.add(mapped_trial.measurement)
-            unmapped.add(unmapped_trial.measurement)
-            total_cycles += mapped_trial.sim_cycles + unmapped_trial.sim_cycles
-        comparison = DistributionComparison.compare(mapped, unmapped)
-        mean_cycles = total_cycles / (2 * self.config.n_runs)
+        experiment = self.run_incremental()
+        experiment.advance(self.config.n_runs)
+        return experiment.result()
+
+
+@dataclass(frozen=True)
+class InterimComparison:
+    """Point-in-time view of a streaming experiment at one look.
+
+    Attributes:
+        n: Trials per hypothesis consumed so far.
+        comparison: The t-test over everything measured so far.
+        mean_trial_cycles: Mean simulated cycles per trial so far.
+    """
+
+    n: int
+    comparison: DistributionComparison
+    mean_trial_cycles: float
+
+
+class IncrementalExperiment:
+    """Streams one experiment's trials without re-simulating prefixes.
+
+    Trials are appended strictly in the canonical schedule order —
+    mapped(i), unmapped(i) for ascending ``i`` — which is load-bearing
+    twice over: the per-trial seeds are indexed by ``i``, and stateful
+    defense RNG streams advance once per predictor build, so any other
+    interleaving would sample a different (valid but non-reproducible)
+    path.  Advancing to ``n`` therefore leaves the experiment in
+    exactly the state a cold fixed-``n`` run ends in, byte for byte;
+    the group-sequential harness exploits this to stop early, and the
+    adaptive-escalation path to *extend* a sample instead of
+    re-simulating it from scratch.
+
+    ``advance`` may exceed the runner's configured ``n_runs`` — the
+    cap is a property of the sequential design, not of the trial seed
+    schedule, which is defined for every index.
+    """
+
+    def __init__(self, runner: AttackRunner) -> None:
+        self.runner = runner
+        self._mapped = TimingDistribution("mapped")
+        self._unmapped = TimingDistribution("unmapped")
+        self._total_cycles = 0
+        self._trials_done = 0
+        self._comparison: Optional[DistributionComparison] = None
+
+    @property
+    def trials_done(self) -> int:
+        """Trials per hypothesis simulated so far."""
+        return self._trials_done
+
+    def advance(self, target_n: int) -> InterimComparison:
+        """Simulate forward to ``target_n`` trials per hypothesis.
+
+        Only trials ``trials_done .. target_n-1`` are run; everything
+        before is kept.  Returns the interim comparison at
+        ``target_n``.
+        """
+        if target_n < self._trials_done:
+            raise AttackError(
+                f"cannot rewind a streaming experiment: at "
+                f"{self._trials_done} trials, asked for {target_n}"
+            )
+        for index in range(self._trials_done, target_n):
+            mapped_trial = self.runner.run_trial(True, index)
+            unmapped_trial = self.runner.run_trial(False, index)
+            self._mapped.add(mapped_trial.measurement)
+            self._unmapped.add(unmapped_trial.measurement)
+            self._total_cycles += (
+                mapped_trial.sim_cycles + unmapped_trial.sim_cycles
+            )
+        self._trials_done = target_n
+        self._comparison = DistributionComparison.compare(
+            self._mapped, self._unmapped
+        )
+        return InterimComparison(
+            n=target_n,
+            comparison=self._comparison,
+            mean_trial_cycles=self.mean_trial_cycles,
+        )
+
+    @property
+    def mean_trial_cycles(self) -> float:
+        """Mean simulated cycles per trial over everything run so far."""
+        if self._trials_done == 0:
+            return 0.0
+        return self._total_cycles / (2 * self._trials_done)
+
+    def result(self) -> ExperimentResult:
+        """The :class:`ExperimentResult` over every trial streamed so far.
+
+        After ``advance(config.n_runs)`` this is byte-identical to
+        what :meth:`AttackRunner.run_experiment` returns for the same
+        configuration.
+        """
+        if self._trials_done < 2:
+            raise AttackError(
+                "an experiment needs at least 2 trials per hypothesis "
+                f"for the t-test, got {self._trials_done}"
+            )
+        comparison = self._comparison
+        if comparison is None:
+            comparison = DistributionComparison.compare(
+                self._mapped, self._unmapped
+            )
+        runner = self.runner
+        config = runner.config
+        mean_cycles = self.mean_trial_cycles
         # The rate must be computed at the clock the trials actually ran
         # at — i.e. after defense config adjustments — not the bare
         # default CoreConfig.
-        clock = self._core_config().clock_ghz
+        clock = runner._core_config().clock_ghz
         rate = transmission_rate_kbps(1.0, mean_cycles, clock)
         predictor_name = (
-            self.config.predictor
-            if isinstance(self.config.predictor, str)
-            else getattr(self.config.predictor, "__name__", "custom")
+            config.predictor
+            if isinstance(config.predictor, str)
+            else getattr(config.predictor, "__name__", "custom")
         )
         return ExperimentResult(
-            variant_name=self.variant.name,
-            category=self.variant.category,
-            channel=self.config.channel,
+            variant_name=runner.variant.name,
+            category=runner.variant.category,
+            channel=config.channel,
             predictor_name=str(predictor_name),
             defense_name=(
-                self.config.defense.name if self.config.defense else "none"
+                config.defense.name if config.defense else "none"
             ),
             comparison=comparison,
             mean_trial_cycles=mean_cycles,

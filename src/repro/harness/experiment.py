@@ -36,6 +36,32 @@ RSA_DRAM = DramConfig(
 )
 
 
+def cell_runner(
+    variant: AttackVariant,
+    channel: ChannelType,
+    predictor: str,
+    n_runs: int = 100,
+    seed: int = 0,
+    defense: Optional[Defense] = None,
+    **overrides,
+) -> AttackRunner:
+    """The configured :class:`AttackRunner` behind one experiment cell.
+
+    Shared by :func:`run_cell` (fixed-N) and the group-sequential
+    harness path, which streams the same runner incrementally instead
+    of running it to the fixed cap.
+    """
+    config = AttackConfig(
+        n_runs=n_runs,
+        channel=channel,
+        predictor=predictor,
+        seed=seed,
+        defense=defense,
+        **overrides,
+    )
+    return AttackRunner(variant, config)
+
+
 def run_cell(
     variant: AttackVariant,
     channel: ChannelType,
@@ -46,15 +72,10 @@ def run_cell(
     **overrides,
 ) -> ExperimentResult:
     """Run one (attack, channel, predictor) experiment cell."""
-    config = AttackConfig(
-        n_runs=n_runs,
-        channel=channel,
-        predictor=predictor,
-        seed=seed,
-        defense=defense,
+    return cell_runner(
+        variant, channel, predictor, n_runs, seed, defense=defense,
         **overrides,
-    )
-    return AttackRunner(variant, config).run_experiment()
+    ).run_experiment()
 
 
 def _default_executor(executor):

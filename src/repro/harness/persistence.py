@@ -43,6 +43,7 @@ from repro.harness.runner import (
     ExecutionPolicy,
     ResilientExecutor,
     RetryPolicy,
+    SequentialPolicy,
     SupervisedCell,
     figure7_supervised,
     figure_panels_supervised,
@@ -123,6 +124,10 @@ def cell_record(cell: Optional[SupervisedCell]) -> Optional[Dict[str, object]]:
                 "static": cell.preflight}
     record = experiment_record(cell.result, cell.execution_record())
     record["static"] = cell.preflight
+    if cell.sequential is not None:
+        # Only sequential cells carry the look trajectory; fixed-N
+        # records keep their historical shape byte for byte.
+        record["sequential"] = cell.sequential
     return record
 
 
@@ -154,6 +159,7 @@ def run_all(
     workers: Optional[int] = None,
     snapshot_trials: bool = False,
     audit_snapshots: bool = False,
+    sequential: Optional[SequentialPolicy] = None,
 ) -> Dict[str, str]:
     """Regenerate and persist the selected artifacts, resumably.
 
@@ -187,6 +193,12 @@ def run_all(
         audit_snapshots: Additionally replay every forked trial cold
             and assert byte-identity (implies ``snapshot_trials``
             validation downstream).
+        sequential: Optional group-sequential early-stopping policy
+            (:class:`repro.harness.runner.SequentialPolicy`) applied to
+            every attack cell; ignored when ``policy`` is given (set
+            :attr:`~repro.harness.runner.ExecutionPolicy.sequential`
+            there instead).  Recorded in the checkpoint metadata, so a
+            ``--resume`` across modes is rejected.
 
     Returns:
         Mapping from artifact name to the path of its rendering.
@@ -212,6 +224,13 @@ def run_all(
         # historical metadata shape, and a resume across protocols
         # fails the metadata compatibility check.
         meta["snapshot_trials"] = True
+    seq_policy = policy.sequential if policy is not None else sequential
+    if seq_policy is not None:
+        # Same only-when-on rule as snapshot_trials: fixed-N checkpoint
+        # metadata keeps its historical shape, and a resume across
+        # fixed-N/sequential modes (or differing look schedules) is
+        # rejected by the compatibility check.
+        meta["sequential"] = seq_policy.to_meta()
     supervised_chosen = [
         name for name in chosen if name in ("fig5", "fig7", "fig8", "table3")
     ]
@@ -229,6 +248,7 @@ def run_all(
         effective_policy = policy or ExecutionPolicy(
             retry=RetryPolicy(max_retries=max_retries),
             adaptive=AdaptivePolicy(),
+            sequential=sequential,
         )
         executor = ResilientExecutor(
             effective_policy,
@@ -361,8 +381,29 @@ def run_all(
         for cell in processed:
             label = cell.classification.value
             summary[label] = summary.get(label, 0) + 1
-        save_json(
-            os.path.join(out_dir, "run_summary.json"),
-            {**meta, "cells": len(processed), "classifications": summary},
-        )
+        payload: Dict[str, object] = {
+            **meta, "cells": len(processed), "classifications": summary,
+        }
+        seq_records = [
+            cell.sequential for cell in processed
+            if cell.sequential is not None
+        ]
+        if seq_records:
+            # Sweep-level early-stopping yield (only present when the
+            # sequential engine ran, so fixed-N summaries keep their
+            # historical shape).
+            planned = sum(2 * int(s["planned_n"]) for s in seq_records)
+            effective = sum(2 * int(s["effective_n"]) for s in seq_records)
+            payload["sequential_summary"] = {
+                "cells": len(seq_records),
+                "early_stops": sum(
+                    1 for s in seq_records if s["stopped_early"]
+                ),
+                "planned_trials": planned,
+                "effective_trials": effective,
+                "trials_avoided": sum(
+                    int(s["trials_avoided"]) for s in seq_records
+                ),
+            }
+        save_json(os.path.join(out_dir, "run_summary.json"), payload)
     return written

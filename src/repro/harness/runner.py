@@ -18,7 +18,17 @@ every experiment cell with:
   :class:`~repro.errors.BudgetExceededError`;
 * **adaptive re-measurement** — when a t-test lands in an
   inconclusive band around ``ALPHA``, the cell re-runs with an
-  escalated ``n_runs`` instead of reporting a flaky verdict;
+  escalated ``n_runs`` instead of reporting a flaky verdict (under a
+  :class:`SequentialPolicy` the escalation *extends* the streamed
+  sample in place — all prior trials are kept and more are drawn from
+  the same per-trial seed schedule — instead of re-simulating from
+  scratch);
+* **group-sequential early stopping** — opt-in via
+  :class:`SequentialPolicy`: each cell streams its trials through
+  :meth:`repro.core.attack.AttackRunner.run_incremental` and is
+  examined at pre-registered interim looks against an alpha-spending
+  boundary (:mod:`repro.stats.sequential`), stopping as soon as the
+  verdict is decisive instead of burning the full fixed-N budget;
 * **checkpoint/resume** — completed cells are journaled atomically to
   a :class:`~repro.harness.checkpoint.CheckpointStore`, and re-running
   a sweep over the same store reuses every journaled cell verbatim.
@@ -38,7 +48,11 @@ from dataclasses import dataclass, field, replace as dc_replace
 from enum import Enum
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.attack import ExperimentResult, make_predictor
+from repro.core.attack import (
+    AttackRunner,
+    ExperimentResult,
+    make_predictor,
+)
 from repro.core.channels import ChannelType
 from repro.core.model import AttackCategory
 from repro.core.variants import ALL_VARIANTS, AttackVariant
@@ -56,7 +70,15 @@ from repro.harness.checkpoint import (
 )
 from repro.harness.faults import FaultInjector
 from repro.memory.hierarchy import MemoryConfig
+from repro.perf.counters import COUNTERS
 from repro.stats.distributions import TimingDistribution
+from repro.stats.sequential import (
+    DEFAULT_LOOK_FRACTIONS,
+    GroupSequentialTest,
+    MIN_LOOK_TRIALS,
+    SequentialDesign,
+    default_looks,
+)
 from repro.stats.summary import DistributionComparison
 from repro.stats.ttest import ALPHA
 
@@ -156,12 +178,91 @@ class AdaptivePolicy:
 
 
 @dataclass(frozen=True)
+class SequentialPolicy:
+    """Group-sequential early stopping for experiment cells.
+
+    Each cell's requested ``n_runs`` becomes the hard cap of a
+    group-sequential design (:class:`repro.stats.sequential.SequentialDesign`):
+    trials stream in boundary-aligned batches and the cell stops as
+    soon as an interim look crosses the alpha-spending boundary.  The
+    final look applies the paper's plain fixed-N criterion by default,
+    so a cell that never stops early reports exactly the fixed-N
+    verdict.
+
+    Attributes:
+        look_fractions: Interim-look schedule as fractions of
+            ``n_runs`` (used when ``looks`` is unset); the default is
+            the classic 20/40/60/80/100% five-look plan.
+        looks: Explicit cumulative trial counts instead of fractions.
+            Counts at or above a cell's ``n_runs`` are dropped and the
+            cap itself is always appended, so one schedule serves
+            sweeps with mixed per-cell budgets.
+        alpha: Overall significance level.
+        spending: Alpha-spending function name
+            (:data:`repro.stats.sequential.SPENDING_FUNCTIONS`).
+        final_level: Passed through to the design; ``"fixed-n"``
+            (default) keeps the fixed-N answer recoverable.
+    """
+
+    look_fractions: Tuple[float, ...] = DEFAULT_LOOK_FRACTIONS
+    looks: Optional[Tuple[int, ...]] = None
+    alpha: float = ALPHA
+    spending: str = "obrien-fleming"
+    final_level: str = "fixed-n"
+
+    def __post_init__(self) -> None:
+        if self.looks is not None:
+            if not self.looks:
+                raise HarnessError("explicit looks must be non-empty")
+            if any(n < MIN_LOOK_TRIALS for n in self.looks):
+                raise HarnessError(
+                    f"every look needs >= {MIN_LOOK_TRIALS} trials, "
+                    f"got {self.looks}"
+                )
+            if any(b <= a for a, b in zip(self.looks, self.looks[1:])):
+                raise HarnessError(
+                    f"looks must be strictly increasing, got {self.looks}"
+                )
+        if not self.look_fractions:
+            raise HarnessError("look_fractions must be non-empty")
+
+    def design_for(self, n_runs: int) -> SequentialDesign:
+        """The concrete design for a cell with cap ``n_runs``."""
+        if self.looks is not None:
+            counts = tuple(n for n in self.looks if n < n_runs) + (n_runs,)
+        else:
+            counts = default_looks(n_runs, self.look_fractions)
+        return SequentialDesign(
+            looks=counts,
+            alpha=self.alpha,
+            spending=self.spending,
+            final_level=self.final_level,
+        )
+
+    def to_meta(self) -> Dict[str, object]:
+        """JSON-safe settings record (checkpoint-manifest comparable)."""
+        return {
+            "look_fractions": list(self.look_fractions),
+            "looks": list(self.looks) if self.looks is not None else None,
+            "alpha": self.alpha,
+            "spending": self.spending,
+            "final_level": self.final_level,
+        }
+
+
+@dataclass(frozen=True)
 class ExecutionPolicy:
     """Everything the supervised executor enforces per cell.
 
     Attributes:
         retry: Retry/backoff behaviour.
-        adaptive: Optional inconclusive-band re-measurement.
+        adaptive: Optional inconclusive-band re-measurement.  Under a
+            sequential policy the escalation keeps all prior trials
+            and extends the stream; otherwise it re-runs the cell at
+            the escalated ``n_runs`` from scratch.
+        sequential: Optional group-sequential early stopping
+            (:class:`SequentialPolicy`); ``None`` preserves the
+            historical fixed-N behaviour byte for byte.
         max_trial_cycles: Per-trial watchdog, threaded into the core's
             ``max_cycles`` bound.
         cell_cycle_budget: Simulated-cycle budget per cell summed over
@@ -178,6 +279,7 @@ class ExecutionPolicy:
 
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     adaptive: Optional[AdaptivePolicy] = None
+    sequential: Optional[SequentialPolicy] = None
     max_trial_cycles: Optional[int] = None
     cell_cycle_budget: Optional[float] = None
     fail_fast: bool = False
@@ -237,6 +339,121 @@ class AttemptRecord:
 
 
 @dataclass
+class SequentialOutcome:
+    """What one group-sequential attempt at a cell produced.
+
+    Returned by :func:`run_sequential_cell`; the executor's
+    :meth:`ResilientExecutor.supervise` unwraps it transparently, so
+    ``attempt_fn`` callables may return either a plain result or one
+    of these.
+
+    Attributes:
+        result: The experiment result over every trial actually
+            streamed (its t-test covers the full collected sample, so
+            ``attack_succeeds`` stays the authoritative verdict).
+        record: JSON-safe look trajectory / boundary record, journaled
+            with the cell and carried into artifact records.
+        extensions: Adaptive inconclusive-band extensions performed
+            (counted as escalations by the executor).
+        note: Degradation reason when the cell stayed inconclusive
+            after every extension (empty otherwise).
+    """
+
+    result: ExperimentResult
+    record: Dict[str, object]
+    extensions: int = 0
+    note: str = ""
+
+    @property
+    def effective_n(self) -> int:
+        """Trials per hypothesis actually simulated."""
+        return int(self.record["effective_n"])
+
+
+def run_sequential_cell(
+    runner: AttackRunner,
+    design: SequentialDesign,
+    adaptive: Optional[AdaptivePolicy] = None,
+) -> SequentialOutcome:
+    """Stream one cell's trials through a group-sequential boundary.
+
+    Trials advance in boundary-aligned batches via
+    :meth:`~repro.core.attack.AttackRunner.run_incremental`; after each
+    scheduled look the interim p-value is fed to the alpha-spending
+    boundary and the cell stops on the first decisive look.  When the
+    final look lands in the adaptive policy's inconclusive band, the
+    sample is *extended* — all prior trials are kept and more are
+    drawn from the same per-trial seed schedule — up to
+    ``adaptive.max_escalations`` times, replacing the legacy
+    from-scratch 2xN re-run.
+
+    Deterministic: the trials simulated depend only on the runner's
+    seed/config, the design, and the adaptive band.
+    """
+    experiment = runner.run_incremental()
+    test = GroupSequentialTest(design)
+    state = None
+    for n in design.looks:
+        state = experiment.advance(n)
+        COUNTERS.sequential_looks += 1
+        if test.decide(state.comparison.pvalue).decision != "continue":
+            break
+    assert state is not None  # designs always have >= 1 look
+
+    trials_avoided = 0
+    if test.stopped_early:
+        trials_avoided = 2 * (design.n_max - experiment.trials_done)
+        COUNTERS.sequential_early_stops += 1
+        COUNTERS.sequential_trials_avoided += trials_avoided
+        COUNTERS.sequential_cycles_avoided += int(
+            trials_avoided * state.mean_trial_cycles
+        )
+
+    extensions = 0
+    extension_records: List[Dict[str, object]] = []
+    note = ""
+    if (
+        not test.stopped_early
+        and adaptive is not None
+        and adaptive.inconclusive(state.comparison.pvalue)
+    ):
+        while extensions < adaptive.max_escalations:
+            reused = 2 * experiment.trials_done
+            target = experiment.trials_done * adaptive.escalation_factor
+            state = experiment.advance(target)
+            extensions += 1
+            COUNTERS.escalation_trials_reused += reused
+            extension_records.append({
+                "n": target,
+                "pvalue": state.comparison.pvalue,
+                "trials_reused": reused,
+            })
+            if not adaptive.inconclusive(state.comparison.pvalue):
+                break
+        if adaptive.inconclusive(state.comparison.pvalue):
+            note = (
+                f"p-value {state.comparison.pvalue:.4f} still "
+                f"inconclusive after {extensions} escalation(s)"
+            )
+
+    record: Dict[str, object] = {
+        "design": design.to_payload(),
+        "looks": [look.to_payload() for look in test.looks],
+        "extensions": extension_records,
+        "stopped_early": test.stopped_early,
+        "planned_n": design.n_max,
+        "effective_n": experiment.trials_done,
+        "trials_avoided": trials_avoided,
+    }
+    return SequentialOutcome(
+        result=experiment.result(),
+        record=record,
+        extensions=extensions,
+        note=note,
+    )
+
+
+@dataclass
 class SupervisedCell:
     """Outcome of one supervised cell: result + execution metadata."""
 
@@ -250,6 +467,11 @@ class SupervisedCell:
     #: (:meth:`repro.analysis.preflight.PreflightReport.to_payload`),
     #: journaled with the cell so resumed runs stay byte-identical.
     preflight: Optional[Dict[str, object]] = None
+    #: Group-sequential look trajectory / boundary record
+    #: (:attr:`SequentialOutcome.record`); ``None`` for fixed-N cells,
+    #: and omitted from journal payloads then so fixed-N journals stay
+    #: byte-identical with historical runs.
+    sequential: Optional[Dict[str, object]] = None
 
     @property
     def final_attempt(self) -> Optional[AttemptRecord]:
@@ -273,7 +495,7 @@ class SupervisedCell:
 
     def to_payload(self) -> Dict[str, object]:
         """Checkpoint-journal payload (atomic JSON)."""
-        return {
+        payload: Dict[str, object] = {
             "cell_id": self.cell_id,
             "execution": self.execution_record(),
             "result": (
@@ -282,6 +504,9 @@ class SupervisedCell:
             ),
             "preflight": self.preflight,
         }
+        if self.sequential is not None:
+            payload["sequential"] = self.sequential
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Dict[str, object]) -> "SupervisedCell":
@@ -302,6 +527,7 @@ class SupervisedCell:
             escalations=int(execution.get("escalations", 0)),
             note=str(execution.get("note", "")),
             preflight=payload.get("preflight"),
+            sequential=payload.get("sequential"),
         )
 
 
@@ -361,6 +587,7 @@ class ResilientExecutor:
         cycles_spent = 0.0
         note = ""
         result: Optional[object] = None
+        sequential_payload: Optional[Dict[str, object]] = None
         attempt = 0
 
         cell_index = cell_seed_index(cell_id)
@@ -411,6 +638,18 @@ class ResilientExecutor:
                 continue
 
             attempts.append(record)
+            outcome: Optional[SequentialOutcome] = None
+            if isinstance(result, SequentialOutcome):
+                # A sequential attempt did its own escalation (by
+                # extension) internally; unwrap it and skip the
+                # from-scratch adaptive re-run below.
+                outcome = result
+                sequential_payload = outcome.record
+                escalations += outcome.extensions
+                if outcome.note:
+                    note = outcome.note
+                record.n_runs = outcome.effective_n
+                result = outcome.result
             if cycles_of is not None:
                 cycles_spent += float(cycles_of(result))
             if degraded_note is not None:
@@ -418,7 +657,8 @@ class ResilientExecutor:
                 if reason:
                     note = reason
             if (
-                policy.adaptive is not None
+                outcome is None
+                and policy.adaptive is not None
                 and pvalue_of is not None
                 and n_runs_now is not None
                 and policy.adaptive.inconclusive(pvalue_of(result))
@@ -442,6 +682,7 @@ class ResilientExecutor:
                 return self._conclude(
                     cell_id, result, CellClassification.DEGRADED,
                     attempts, escalations, note, None, preflight,
+                    sequential_payload,
                 )
             break
 
@@ -453,7 +694,7 @@ class ResilientExecutor:
             classification = CellClassification.CLEAN
         return self._conclude(
             cell_id, result, classification, attempts, escalations, note,
-            None, preflight,
+            None, preflight, sequential_payload,
         )
 
     def _conclude(
@@ -466,6 +707,7 @@ class ResilientExecutor:
         note: str,
         error: Optional[BaseException],
         preflight: Optional[Dict[str, object]] = None,
+        sequential: Optional[Dict[str, object]] = None,
     ) -> SupervisedCell:
         cell = SupervisedCell(
             cell_id=cell_id,
@@ -475,6 +717,7 @@ class ResilientExecutor:
             escalations=escalations,
             note=note,
             preflight=preflight,
+            sequential=sequential,
         )
         if classification is CellClassification.FAILED:
             if self.policy.fail_fast and error is not None:
@@ -506,8 +749,13 @@ class ResilientExecutor:
         checkpoint store skip the analysis (their journaled payload,
         including the stored preflight record, is reused verbatim so
         resumed artifacts stay byte-identical).
+
+        Under :attr:`ExecutionPolicy.sequential` the cell streams its
+        trials through :func:`run_sequential_cell` instead of running
+        the fixed-N experiment; the supervision contract (retries,
+        budget, fault injection, journaling) is unchanged.
         """
-        from repro.harness.experiment import run_cell
+        from repro.harness.experiment import cell_runner, run_cell
 
         preflight_payload = self._preflight_payload(
             cell_id, variant, channel, predictor, overrides
@@ -515,8 +763,9 @@ class ResilientExecutor:
 
         injector = self.injector
         requested_runs = n_runs
+        seq_policy = self.policy.sequential
 
-        def attempt_fn(seed_now: int, n_runs_now: Optional[int]):
+        def build_kwargs(seed_now: int) -> Tuple[Dict[str, object], object]:
             kwargs = dict(overrides)
             if self.policy.max_trial_cycles is not None:
                 kwargs.setdefault(
@@ -544,18 +793,54 @@ class ResilientExecutor:
                     # Preserve the reported predictor name.
                     corrupting_factory.__name__ = predictor
                     predictor_arg = corrupting_factory
+            return kwargs, predictor_arg
 
-            result = run_cell(
+        def attempt_fn(seed_now: int, n_runs_now: Optional[int]):
+            kwargs, predictor_arg = build_kwargs(seed_now)
+            if seq_policy is None:
+                result = run_cell(
+                    variant, channel, predictor_arg, n_runs_now, seed_now,
+                    **kwargs,
+                )
+                if (
+                    injector is not None
+                    and injector.profile.perturbs_samples
+                ):
+                    result = _apply_sample_faults(
+                        injector, result, cell_id, seed_now
+                    )
+                return result
+
+            runner = cell_runner(
                 variant, channel, predictor_arg, n_runs_now, seed_now,
                 **kwargs,
             )
+            outcome = run_sequential_cell(
+                runner, seq_policy.design_for(n_runs_now),
+                self.policy.adaptive,
+            )
             if injector is not None and injector.profile.perturbs_samples:
-                result = _apply_sample_faults(
-                    injector, result, cell_id, seed_now
+                corrupted = _apply_sample_faults(
+                    injector, outcome.result, cell_id, seed_now
                 )
-            return result
+                survivors = min(
+                    len(corrupted.comparison.mapped),
+                    len(corrupted.comparison.unmapped),
+                )
+                if survivors < outcome.effective_n and not outcome.note:
+                    outcome.note = (
+                        f"only {survivors}/{outcome.effective_n} "
+                        "samples survived fault injection"
+                    )
+                outcome.result = corrupted
+            return outcome
 
         def degraded_note(result) -> Optional[str]:
+            if seq_policy is not None:
+                # Sequential attempts size their own samples; any
+                # fault-injection degradation note is attached by
+                # attempt_fn above.
+                return None
             mapped = len(result.comparison.mapped)
             unmapped = len(result.comparison.unmapped)
             if mapped < requested_runs or unmapped < requested_runs:

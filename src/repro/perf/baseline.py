@@ -161,6 +161,69 @@ def measure_snapshot_fork(
     }
 
 
+def measure_sequential(n_runs: int = 60, seed: int = 0) -> Dict[str, Any]:
+    """Time one decisive cell fixed-N vs group-sequential.
+
+    Both passes stream the identical per-trial seed schedule, so the
+    sequential pass's samples are a byte-exact prefix of the fixed-N
+    pass's and the verdicts must agree — asserted per invocation, which
+    makes every ``repro perf`` run a cheap equivalence spot-check of
+    the early-stopping engine.
+    """
+    from repro.harness.experiment import cell_runner, run_cell
+    from repro.harness.runner import (
+        AdaptivePolicy,
+        SequentialPolicy,
+        run_sequential_cell,
+    )
+    from repro.perf.counters import COUNTERS, PerfCounters
+
+    variant = _variant_by_name(_WARM_VARIANT)
+
+    run_cell(  # warm-up: populate gadget/trace caches
+        variant, _WARM_CHANNEL, _WARM_PREDICTOR, n_runs=4, seed=seed
+    )
+    watch = Stopwatch()
+    with watch:
+        fixed = run_cell(
+            variant, _WARM_CHANNEL, _WARM_PREDICTOR,
+            n_runs=n_runs, seed=seed,
+        )
+    fixed_s = watch.elapsed
+
+    before = COUNTERS.snapshot()
+    watch = Stopwatch()
+    with watch:
+        outcome = run_sequential_cell(
+            cell_runner(
+                variant, _WARM_CHANNEL, _WARM_PREDICTOR,
+                n_runs=n_runs, seed=seed,
+            ),
+            SequentialPolicy().design_for(n_runs),
+            AdaptivePolicy(),
+        )
+    sequential_s = watch.elapsed
+    delta = PerfCounters.delta(before, COUNTERS.snapshot())
+    if outcome.result.attack_succeeds != fixed.attack_succeeds:
+        raise AssertionError(
+            "sequential verdict diverged from fixed-N: "
+            f"{outcome.result.attack_succeeds} != {fixed.attack_succeeds}"
+        )
+    return {
+        "cell": f"{_WARM_VARIANT} / {_WARM_CHANNEL.value} / {_WARM_PREDICTOR}",
+        "n_runs": n_runs,
+        "fixed_s": fixed_s,
+        "sequential_s": sequential_s,
+        "speedup": fixed_s / sequential_s if sequential_s > 0 else 0.0,
+        "effective_n": outcome.effective_n,
+        "stopped_early": bool(outcome.record["stopped_early"]),
+        "looks": len(outcome.record["looks"]),
+        "trials_avoided": delta.get("sequential_trials_avoided", 0),
+        "cycles_avoided": delta.get("sequential_cycles_avoided", 0),
+        "verdict_identical": True,
+    }
+
+
 def _sweep_pass(
     specs: Sequence[CellSpec],
     workers: int,
@@ -210,6 +273,9 @@ def perf_baseline(
     say("snapshot fork: 1 cell, snapshot_trials on/off + audit ...")
     snapshot_fork = measure_snapshot_fork(n_runs=max(n_runs, 20), seed=seed)
 
+    say("sequential: 1 cell, fixed-N vs group-sequential ...")
+    sequential = measure_sequential(n_runs=max(n_runs, 20), seed=seed)
+
     if profile_path:
         # Separate pass: the profiler's tracing overhead would inflate
         # the serial time and with it the reported parallel speedup.
@@ -236,6 +302,7 @@ def perf_baseline(
         "cells": len(specs),
         "warm_batching": warm,
         "snapshot_fork": snapshot_fork,
+        "sequential": sequential,
         "serial": {
             **serial.to_payload(),
             "program_cache_hit_rate": _rate(
@@ -297,6 +364,30 @@ def render_perf_report(report: Dict[str, Any]) -> str:
             f"{fork['fork_hit_rate'] * 100:.1f}% fork hit rate, "
             f"{fork['cycles_avoided'] / 1e6:.2f}M cycles avoided, "
             f"{fork['bytes_copied'] / 1e6:.2f} MB copied"
+        )
+    sequential = report.get("sequential")
+    if sequential is not None:
+        lines.append("")
+        lines.append(
+            f"group-sequential ({sequential['cell']}, "
+            f"n_runs={sequential['n_runs']}):"
+        )
+        stopped = (
+            "stopped early" if sequential.get("stopped_early")
+            else "ran to the cap"
+        )
+        lines.append(
+            f"  fixed-N       : {sequential['fixed_s']:7.3f} s   "
+            f"sequential: {sequential['sequential_s']:7.3f} s   "
+            f"speedup {sequential['speedup']:.2f}x"
+            + ("   [verdicts identical]"
+               if sequential.get("verdict_identical") else "")
+        )
+        lines.append(
+            f"  effective n {sequential['effective_n']}"
+            f"/{sequential['n_runs']} after {sequential['looks']} look(s) "
+            f"({stopped}), {sequential['trials_avoided']} trials avoided, "
+            f"{sequential['cycles_avoided'] / 1e6:.2f}M cycles avoided"
         )
     serial = report["serial"]
     lines.append("")

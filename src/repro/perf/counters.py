@@ -43,6 +43,20 @@ class PerfCounters:
         snapshot_bytes_copied: Approximate bytes structurally copied by
             captures and restores (deterministic estimate, see
             :func:`repro.snapshot.approx_state_bytes`).
+        sequential_looks: Interim/final boundary looks taken by the
+            group-sequential engine (:mod:`repro.stats.sequential`).
+        sequential_early_stops: Cells whose verdict crossed an interim
+            alpha-spending boundary before the fixed-N cap.
+        sequential_trials_avoided: Trials (both hypotheses) never
+            simulated thanks to early stopping: ``2 * (n_max -
+            effective_n)`` per early-stopped cell.
+        sequential_cycles_avoided: Deterministic estimate of the
+            simulated cycles those avoided trials would have cost
+            (avoided trials x the cell's mean trial cycles, truncated).
+        escalation_trials_reused: Trials kept across adaptive
+            inconclusive-band escalations under the streaming
+            extension protocol — each of these used to be re-simulated
+            from scratch by the legacy 2xN re-run.
     """
 
     program_cache_hits: int = 0
@@ -59,6 +73,11 @@ class PerfCounters:
     snapshot_audit_replays: int = 0
     snapshot_cycles_avoided: int = 0
     snapshot_bytes_copied: int = 0
+    sequential_looks: int = 0
+    sequential_early_stops: int = 0
+    sequential_trials_avoided: int = 0
+    sequential_cycles_avoided: int = 0
+    escalation_trials_reused: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         """The counter values as a plain dict (JSON- and pickle-safe)."""

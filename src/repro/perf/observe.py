@@ -77,3 +77,26 @@ def write_bench_snapshot(
     path.parent.mkdir(parents=True, exist_ok=True)
     atomic_write_json(str(path), document)
     return document
+
+
+#: Root-level perf-trajectory artifact shared by the sweep benches
+#: (``BENCH_sweep.json`` next to the other ``BENCH_*.json`` files).
+SWEEP_TRAJECTORY = Path(__file__).resolve().parents[3] / "BENCH_sweep.json"
+
+
+def write_sweep_trajectory(
+    section: str,
+    payload: Dict[str, Any],
+    path: Optional[Path] = None,
+) -> Dict[str, Any]:
+    """Record one bench's sweep-level numbers in ``BENCH_sweep.json``.
+
+    Thin wrapper over :func:`write_bench_snapshot` targeting the
+    root-level perf-trajectory artifact, so every sweep bench reports
+    through one schema (documented in ``docs/ARCHITECTURE.md``): each
+    section carries at least ``wall_clock_s``, ``cells`` and
+    ``cells_per_s``; trial-level benches add ``trials_simulated`` /
+    ``trials_avoided`` and the sequential benches their
+    fixed-N-vs-sequential speedup.
+    """
+    return write_bench_snapshot(path or SWEEP_TRAJECTORY, section, payload)

@@ -12,15 +12,33 @@ from repro.stats.distributions import (
     frequency_histogram,
     histogram,
 )
+from repro.stats.sequential import (
+    DEFAULT_LOOK_FRACTIONS,
+    GroupSequentialTest,
+    LookDecision,
+    SequentialDesign,
+    default_looks,
+    obrien_fleming_spending,
+    pocock_spending,
+    run_group_sequential,
+)
 from repro.stats.summary import DistributionComparison
 from repro.stats.ttest import ALPHA, TTestResult, student_t_test, welch_t_test
 
 __all__ = [
     "ALPHA",
+    "DEFAULT_LOOK_FRACTIONS",
     "ConfidenceInterval",
     "DistributionComparison",
+    "GroupSequentialTest",
+    "LookDecision",
+    "SequentialDesign",
     "TTestResult",
     "TimingDistribution",
+    "default_looks",
+    "obrien_fleming_spending",
+    "pocock_spending",
+    "run_group_sequential",
     "cycles_to_seconds",
     "frequency_histogram",
     "histogram",

@@ -50,12 +50,19 @@ class TTestResult:
 
 
 def _mean_var(samples: Sequence[float]) -> tuple:
+    """Mean and (n-1)-denominator sample variance.
+
+    The sample variance is undefined below two observations; silently
+    returning 0.0 there used to let a 0/0 t statistic through when a
+    caller bypassed :func:`_validate`, so this is enforced here too.
+    """
     n = len(samples)
+    if n < 2:
+        raise StatsError(
+            f"sample variance needs at least 2 observations, got {n}"
+        )
     mean = sum(samples) / n
-    if n > 1:
-        variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
-    else:
-        variance = 0.0
+    variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
     return mean, variance, n
 
 
@@ -80,15 +87,23 @@ def _validate(sample_a: Sequence[float], sample_b: Sequence[float]) -> None:
 def student_t_test(
     sample_a: Sequence[float], sample_b: Sequence[float]
 ) -> TTestResult:
-    """Pooled-variance two-sample Student's t-test (two-sided)."""
+    """Pooled-variance two-sample Student's t-test (two-sided).
+
+    Degenerate zero-variance inputs (both samples constant) get a
+    defined result instead of a 0/0: identical means are maximally
+    indistinguishable (statistic 0.0, p-value 1.0) and different means
+    maximally distinguishable (signed infinite statistic, p-value 0.0).
+    """
     _validate(sample_a, sample_b)
     mean_a, var_a, n_a = _mean_var(sample_a)
     mean_b, var_b, n_b = _mean_var(sample_b)
     dof = n_a + n_b - 2
     pooled = ((n_a - 1) * var_a + (n_b - 1) * var_b) / dof
     if pooled == 0.0:
-        statistic = 0.0 if mean_a == mean_b else math.inf
-        pvalue = 1.0 if mean_a == mean_b else 0.0
+        if mean_a == mean_b:
+            statistic, pvalue = 0.0, 1.0
+        else:
+            statistic, pvalue = math.copysign(math.inf, mean_a - mean_b), 0.0
     else:
         statistic = (mean_a - mean_b) / math.sqrt(pooled * (1 / n_a + 1 / n_b))
         pvalue = _two_sided_p(statistic, dof)
@@ -100,14 +115,22 @@ def student_t_test(
 def welch_t_test(
     sample_a: Sequence[float], sample_b: Sequence[float]
 ) -> TTestResult:
-    """Welch's unequal-variance two-sample t-test (two-sided)."""
+    """Welch's unequal-variance two-sample t-test (two-sided).
+
+    Zero-variance inputs degenerate the same way as
+    :func:`student_t_test`: equal means give (0.0, p=1.0), different
+    means give a signed infinite statistic with p=0.0.
+    """
     _validate(sample_a, sample_b)
     mean_a, var_a, n_a = _mean_var(sample_a)
     mean_b, var_b, n_b = _mean_var(sample_b)
     se_a = var_a / n_a
     se_b = var_b / n_b
     if se_a + se_b == 0.0:
-        statistic = 0.0 if mean_a == mean_b else math.inf
+        if mean_a == mean_b:
+            statistic = 0.0
+        else:
+            statistic = math.copysign(math.inf, mean_a - mean_b)
         return TTestResult(
             statistic=statistic,
             pvalue=1.0 if mean_a == mean_b else 0.0,

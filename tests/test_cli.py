@@ -183,3 +183,78 @@ class TestResilienceFlags:
         ])
         assert code == 0
         assert (tmp_path / "run_summary.json").exists()
+
+
+class TestSequentialFlags:
+    def test_attack_sequential_prints_effective_n(self, capsys):
+        code = main([
+            "attack", "--variant", "Train + Test", "--runs", "40",
+            "--seed", "1", "--sequential",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sequential: effective n" in out
+        assert "stopped early" in out
+
+    def test_attack_custom_interim_looks(self, capsys):
+        code = main([
+            "attack", "--variant", "Train + Test", "--runs", "20",
+            "--seed", "1", "--sequential", "--interim-looks", "6,12",
+        ])
+        assert code == 0
+        assert "sequential: effective n" in capsys.readouterr().out
+
+    def test_interim_looks_require_sequential(self, capsys):
+        code = main([
+            "attack", "--variant", "Train + Test", "--runs", "20",
+            "--interim-looks", "6,12",
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_fixed_n_conflicts_with_sequential(self, capsys):
+        code = main([
+            "all", "--out", "/tmp", "--runs", "3",
+            "--sequential", "--fixed-n",
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_interim_looks_fail_cleanly(self, capsys):
+        code = main([
+            "attack", "--variant", "Train + Test", "--runs", "20",
+            "--sequential", "--interim-looks", "six,twelve",
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_all_fixed_n_is_byte_identical_to_default(self, tmp_path):
+        default_dir = tmp_path / "default"
+        fixed_dir = tmp_path / "fixed"
+        default_dir.mkdir()
+        fixed_dir.mkdir()
+        assert main([
+            "all", "--out", str(default_dir), "--runs", "3", "--seed", "1",
+            "--artifacts", "fig5",
+        ]) == 0
+        assert main([
+            "all", "--out", str(fixed_dir), "--runs", "3", "--seed", "1",
+            "--artifacts", "fig5", "--fixed-n",
+        ]) == 0
+        assert (
+            (fixed_dir / "fig5.json").read_bytes()
+            == (default_dir / "fig5.json").read_bytes()
+        )
+
+    def test_all_sequential_writes_records(self, tmp_path, capsys):
+        import json
+
+        code = main([
+            "all", "--out", str(tmp_path), "--runs", "8", "--seed", "1",
+            "--artifacts", "fig5", "--sequential",
+        ])
+        assert code == 0
+        fig5 = json.load(open(str(tmp_path / "fig5.json")))
+        assert all(
+            "sequential" in record for record in fig5["panels"].values()
+        )

@@ -59,15 +59,40 @@ class TestTTests:
     def test_zero_variance_equal_means(self):
         result = welch_t_test([5.0, 5.0, 5.0], [5.0, 5.0])
         assert result.pvalue == 1.0
+        assert result.statistic == 0.0
 
     def test_zero_variance_different_means(self):
         result = welch_t_test([5.0, 5.0, 5.0], [9.0, 9.0])
         assert result.pvalue == 0.0
         assert result.distinguishable
 
+    def test_zero_variance_statistic_is_signed_infinity(self):
+        # Degenerate separation keeps the direction of the effect.
+        lower = welch_t_test([5.0, 5.0, 5.0], [9.0, 9.0])
+        higher = welch_t_test([9.0, 9.0], [5.0, 5.0, 5.0])
+        assert lower.statistic == -math.inf
+        assert higher.statistic == math.inf
+        pooled = student_t_test([5.0, 5.0, 5.0], [9.0, 9.0])
+        assert pooled.statistic == -math.inf
+        assert pooled.pvalue == 0.0
+
+    def test_zero_variance_equal_means_student(self):
+        result = student_t_test([5.0, 5.0], [5.0, 5.0, 5.0])
+        assert result.statistic == 0.0
+        assert result.pvalue == 1.0
+
     def test_requires_two_samples_each(self):
         with pytest.raises(StatsError):
             student_t_test([1.0], [1.0, 2.0])
+
+    def test_single_observation_raises_not_crashes(self):
+        # Regression: n == 1 used to reach the variance divide.
+        with pytest.raises(StatsError, match="at least 2 observations"):
+            welch_t_test([1.0, 2.0], [3.0])
+        with pytest.raises(StatsError, match="at least 2 observations"):
+            student_t_test([3.0], [1.0])
+        with pytest.raises(StatsError):
+            welch_t_test([], [1.0, 2.0])
 
 
 class TestConfidenceInterval:
