@@ -12,6 +12,15 @@ Two concerns live here:
   last completed cell: journaled cells are reloaded verbatim (full
   sample sets, so p-values and reports reproduce byte-identically) and
   only the missing cells re-run.
+
+Records carry an integrity stamp (CRC-32 over the canonicalised
+payload), so a journal damaged *outside* the atomic-write protocol — a
+torn write on a dying filesystem, a flipped bit at rest — is detected
+on read instead of trusted.  :meth:`CheckpointStore.has` quarantines a
+damaged record (rename to ``*.corrupt``) and reports the cell missing,
+so ``--resume`` deterministically replays it; a direct
+:meth:`CheckpointStore.load` of a damaged record fails loudly.  Never
+silently corrupted artifacts.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import zlib
 from typing import Dict, List, Optional
 
 from repro.core.attack import ExperimentResult
@@ -165,9 +175,23 @@ def deserialize_result(payload: Dict[str, object]) -> object:
 
 _SAFE = re.compile(r"[^A-Za-z0-9._-]+")
 
+#: Top-level keys a cell-payload record may carry (see
+#: ``SupervisedCell.to_payload``).  Unstamped (legacy) records must
+#: stay inside this vocabulary to be trusted at all.
+_RECORD_KEYS = frozenset(
+    {"cell_id", "execution", "result", "preflight", "sequential"}
+)
+
 
 def _cell_filename(cell_id: str) -> str:
     return _SAFE.sub("-", cell_id) + ".json"
+
+
+def payload_crc32(payload: Dict[str, object]) -> int:
+    """CRC-32 over the canonical (sorted-keys) JSON of ``payload``."""
+    return zlib.crc32(
+        json.dumps(payload, sort_keys=True).encode()
+    ) & 0xFFFFFFFF
 
 
 class CheckpointStore:
@@ -223,35 +247,113 @@ class CheckpointStore:
         return store
 
     def clear(self) -> None:
-        """Remove every journaled cell (fresh run)."""
+        """Remove every journaled cell (fresh run), quarantines too."""
         if os.path.isdir(self.cells_dir):
             for name in os.listdir(self.cells_dir):
-                if name.endswith(".json"):
+                if name.endswith((".json", ".json.corrupt")):
                     os.unlink(os.path.join(self.cells_dir, name))
 
     # -- per-cell journal ----------------------------------------------
     def _cell_path(self, cell_id: str) -> str:
         return os.path.join(self.cells_dir, _cell_filename(cell_id))
 
-    def has(self, cell_id: str) -> bool:
-        """True when ``cell_id`` has a journaled record."""
-        return os.path.exists(self._cell_path(cell_id))
-
-    def save(self, cell_id: str, payload: Dict[str, object]) -> None:
-        """Journal one completed cell atomically."""
-        atomic_write_json(self._cell_path(cell_id), payload)
-
-    def load(self, cell_id: str) -> Dict[str, object]:
-        """Load one journaled cell record.
+    def _validated_record(self, path: str) -> Dict[str, object]:
+        """The verified payload at ``path`` (integrity stamp stripped).
 
         Raises:
-            HarnessError: When the cell was never journaled.
+            HarnessError: Unparseable JSON, a non-object record, or a
+                CRC mismatch — i.e. any damage the atomic-write
+                protocol cannot have produced on its own.
+        """
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise HarnessError(
+                f"corrupt checkpoint record {path!r}: {error}"
+            ) from None
+        if not isinstance(record, dict):
+            raise HarnessError(
+                f"corrupt checkpoint record {path!r}: not a JSON object"
+            )
+        integrity = record.pop("integrity", None)
+        if integrity is not None:
+            expected = (
+                integrity.get("crc32")
+                if isinstance(integrity, dict) else None
+            )
+            actual = payload_crc32(record)
+            if expected != actual:
+                raise HarnessError(
+                    f"corrupt checkpoint record {path!r}: CRC mismatch "
+                    f"(stamped {expected}, computed {actual})"
+                )
+            return record
+        # Legacy records (pre-integrity journals) have no CRC to check;
+        # they pass on a strict structural check instead.  The key
+        # whitelist matters: without it, one flipped bit inside the
+        # ``"integrity"`` key itself would demote a stamped record to
+        # "legacy" and the damage would load silently.
+        unknown = set(record) - _RECORD_KEYS
+        if "cell_id" not in record or unknown:
+            raise HarnessError(
+                f"corrupt checkpoint record {path!r}: not a cell "
+                f"payload (unexpected keys: {sorted(unknown)})"
+            )
+        return record
+
+    def _quarantine(self, path: str) -> str:
+        """Move a damaged record aside so it is never trusted again."""
+        corrupt_path = path + ".corrupt"
+        try:
+            os.replace(path, corrupt_path)
+        except OSError:
+            pass
+        return corrupt_path
+
+    def has(self, cell_id: str) -> bool:
+        """True when ``cell_id`` has a *valid* journaled record.
+
+        A record that fails validation (torn write, bit flip) is
+        quarantined to ``*.corrupt`` and reported missing, so resume
+        deterministically replays the cell instead of trusting damaged
+        measurements.
+        """
+        path = self._cell_path(cell_id)
+        if not os.path.exists(path):
+            return False
+        try:
+            self._validated_record(path)
+        except HarnessError:
+            self._quarantine(path)
+            return False
+        return True
+
+    def save(self, cell_id: str, payload: Dict[str, object]) -> None:
+        """Journal one completed cell atomically, integrity-stamped."""
+        record = dict(payload)
+        record["integrity"] = {"crc32": payload_crc32(payload)}
+        atomic_write_json(self._cell_path(cell_id), record)
+
+    def load(self, cell_id: str) -> Dict[str, object]:
+        """Load one journaled cell record (integrity verified).
+
+        Raises:
+            HarnessError: When the cell was never journaled, or its
+                record is damaged — the damaged file is quarantined
+                and the error says so loudly.
         """
         path = self._cell_path(cell_id)
         if not os.path.exists(path):
             raise HarnessError(f"no checkpoint for cell {cell_id!r}")
-        with open(path) as handle:
-            return json.load(handle)
+        try:
+            return self._validated_record(path)
+        except HarnessError as error:
+            quarantined = self._quarantine(path)
+            raise HarnessError(
+                f"cell {cell_id!r}: {error}; quarantined to "
+                f"{quarantined!r}"
+            ) from None
 
     def completed_cells(self) -> List[str]:
         """Journaled cell ids (by sanitised filename), sorted."""
@@ -268,8 +370,13 @@ class CheckpointStore:
         """Count journaled cells per failure classification."""
         counts: Dict[str, int] = {}
         for name in self.completed_cells():
-            with open(os.path.join(self.cells_dir, name + ".json")) as handle:
-                payload = json.load(handle)
+            try:
+                payload = self._validated_record(
+                    os.path.join(self.cells_dir, name + ".json")
+                )
+            except HarnessError:
+                counts["corrupt"] = counts.get("corrupt", 0) + 1
+                continue
             label = str(
                 payload.get("execution", {}).get("classification", "unknown")
             )

@@ -15,9 +15,11 @@ fault profile)`` inputs:
 
 Cells can therefore execute in any order, in any process, and produce
 byte-identical journal payloads.  This module exploits that: it shards
-the cell list across a process pool, with the **parent as the single
-writer** — workers run cells against no store and ship the journal
-payload back; the parent persists each payload through the existing
+the cell list across a supervised persistent worker pool
+(:mod:`repro.serve.supervisor` — heartbeats, hang detection, per-cell
+deadlines, restart backoff), with the **parent as the single writer**
+— workers run cells against no store and ship the journal payload
+back; the parent persists each payload through the existing
 :class:`~repro.harness.checkpoint.CheckpointStore` (atomic per-cell
 files).  A later serial pass (the artifact assembly in
 :func:`repro.harness.persistence.run_all`) then finds every cell
@@ -33,15 +35,17 @@ reproducing the same failure record.
 from __future__ import annotations
 
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import queue
+import signal
+import threading
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.channels import ChannelType
 from repro.core.variants import ALL_VARIANTS, AttackVariant
 from repro.errors import HarnessError
 from repro.harness.checkpoint import CheckpointStore
-from repro.harness.faults import FaultInjector, fault_profile
+from repro.harness.faults import FaultInjector, FaultProfile, fault_profile
 from repro.harness.runner import (
     CellClassification,
     ExecutionPolicy,
@@ -59,6 +63,17 @@ from repro.perf.observe import now
 #: the CI matrix job to run the whole quick suite under ``--workers 2``
 #: without threading a flag through every entry point).
 WORKERS_ENV = "REPRO_WORKERS"
+
+#: Default per-cell wall-clock budget in the parallel path.  Generous —
+#: the slowest Table III cell is seconds, not minutes — but finite, so
+#: a hung worker can no longer stall a sweep forever.
+DEFAULT_CELL_TIMEOUT_S = 600.0
+
+#: Dispatch attempts per cell before the sweep gives up loudly.
+#: Redispatches are deterministic (the cell payload is a pure function
+#: of its spec), so retrying after a worker death cannot change the
+#: result — only recover it.
+DEFAULT_CELL_DISPATCHES = 5
 
 
 def default_workers() -> int:
@@ -211,16 +226,30 @@ def execute_spec(spec: CellSpec, executor: ResilientExecutor) -> SupervisedCell:
 _WORKER_EXECUTOR: Optional[ResilientExecutor] = None
 
 
+def _resolve_profile(
+    fault_profile_name: Optional[str],
+    fault_profile_obj: Optional[FaultProfile],
+) -> Optional[FaultProfile]:
+    """One profile from either a registry name or a literal object."""
+    if fault_profile_obj is not None:
+        return fault_profile_obj
+    if fault_profile_name:
+        return fault_profile(fault_profile_name)
+    return None
+
+
 def _init_worker(
     policy: ExecutionPolicy,
     fault_profile_name: Optional[str],
     fault_seed: int,
+    fault_profile_obj: Optional[FaultProfile] = None,
 ) -> None:
     """Build the per-process executor (no store: the parent journals)."""
     global _WORKER_EXECUTOR
+    profile = _resolve_profile(fault_profile_name, fault_profile_obj)
     injector = (
-        FaultInjector(fault_profile(fault_profile_name), seed=fault_seed)
-        if fault_profile_name else None
+        FaultInjector(profile, seed=fault_seed)
+        if profile is not None else None
     )
     _WORKER_EXECUTOR = ResilientExecutor(policy, injector=injector, store=None)
     COUNTERS.reset()
@@ -305,15 +334,33 @@ def run_cells(
     workers: int = 1,
     fault_profile_name: Optional[str] = None,
     fault_seed: int = 0,
+    fault_profile_obj: Optional[FaultProfile] = None,
+    cell_timeout_s: Optional[float] = DEFAULT_CELL_TIMEOUT_S,
+    max_dispatches: int = DEFAULT_CELL_DISPATCHES,
     progress: Optional[Callable[[str], None]] = None,
 ) -> SweepStats:
     """Execute ``specs``, journaling results into ``store``.
 
-    With ``workers > 1`` the cells run on a process pool and the parent
-    is the only process that writes the checkpoint journal.  With
-    ``workers == 1`` the cells run in-process through an executor bound
-    directly to the store — the exact serial code path, kept as the
-    fallback so the two modes cannot drift apart.
+    With ``workers > 1`` the cells run on a supervised persistent
+    worker pool (:class:`repro.serve.supervisor.WorkerSupervisor`) and
+    the parent is the only process that writes the checkpoint journal.
+    The supervisor adds the robustness the bare process pool lacked: a
+    per-cell wall-clock deadline (``cell_timeout_s``), heartbeat-based
+    hang detection, and deterministic redispatch after a worker death —
+    a redispatched cell reruns the identical spec and journals the
+    byte-identical payload.  A cell that exhausts ``max_dispatches``
+    or raises out of the executor fails the sweep loudly.
+
+    With ``workers == 1`` the cells run in-process through an executor
+    bound directly to the store — the exact serial code path, kept as
+    the fallback so the two modes cannot drift apart.  (No wall-clock
+    deadline applies there: the parent cannot preempt itself.)
+
+    When called from the main thread with ``workers > 1``, SIGINT is
+    handled cleanly: outstanding cells are cancelled, already-completed
+    payloads stay journaled (flushed incrementally), and
+    ``KeyboardInterrupt`` is raised so the CLI exits nonzero and
+    ``--resume`` picks up from the flushed journal.
 
     Cells already present in the store are skipped (resume semantics).
     The journal payloads are byte-identical for any worker count; the
@@ -322,6 +369,7 @@ def run_cells(
     if workers < 1:
         raise HarnessError(f"workers must be >= 1, got {workers}")
     policy = policy or ExecutionPolicy.compat()
+    profile = _resolve_profile(fault_profile_name, fault_profile_obj)
     stats = SweepStats(workers=workers, cells_total=len(specs))
     pending: List[CellSpec] = []
     for spec in specs:
@@ -334,8 +382,8 @@ def run_cells(
 
     if workers == 1 or len(pending) <= 1:
         injector = (
-            FaultInjector(fault_profile(fault_profile_name), seed=fault_seed)
-            if fault_profile_name else None
+            FaultInjector(profile, seed=fault_seed)
+            if profile is not None else None
         )
         serial = ResilientExecutor(policy, injector=injector, store=store)
         for spec in pending:
@@ -353,42 +401,82 @@ def run_cells(
         stats.counters = counters.snapshot()
         return stats
 
-    # mp_context: fork keeps worker start cheap and inherits the loaded
-    # modules; on platforms without fork the default context is used.
-    import multiprocessing
+    from repro.serve.supervisor import SupervisorPolicy, WorkerSupervisor
 
-    context = None
-    if "fork" in multiprocessing.get_all_start_methods():
-        context = multiprocessing.get_context("fork")
-    pool = ProcessPoolExecutor(
-        max_workers=workers,
-        mp_context=context,
-        initializer=_init_worker,
-        initargs=(policy, fault_profile_name, fault_seed),
+    outcomes: "queue.Queue" = queue.Queue()
+    supervisor = WorkerSupervisor(
+        SupervisorPolicy(
+            workers=workers,
+            job_timeout_s=cell_timeout_s,
+            max_dispatches=max_dispatches,
+        ),
+        run_fn=_run_spec_in_worker,
+        init_fn=_init_worker,
+        init_args=(policy, None, fault_seed, profile),
+        fault_profile=profile,
+        fault_seed=fault_seed,
+    ).start()
+
+    interrupted = threading.Event()
+    previous_handler: Any = None
+    in_main_thread = (
+        threading.current_thread() is threading.main_thread()
     )
+    if in_main_thread:
+        def _on_sigint(signum: int, frame: object) -> None:
+            interrupted.set()
+            supervisor.interrupt()
+
+        previous_handler = signal.signal(signal.SIGINT, _on_sigint)
+
+    failure: Optional[str] = None
     try:
-        futures = {pool.submit(_run_spec_in_worker, spec) for spec in pending}
-        while futures:
-            done, futures = wait(futures, return_when=FIRST_COMPLETED)
-            for future in done:
-                outcome = future.result()
+        for spec in pending:
+            supervisor.submit(spec.cell_id, spec, outcomes.put)
+        received = 0
+        while received < len(pending):
+            try:
+                outcome = outcomes.get(timeout=0.2)
+            except queue.Empty:
+                if interrupted.is_set():
+                    break
+                continue
+            received += 1
+            if outcome.status == "done":
+                result = outcome.value
                 stats.cells_run += 1
-                stats.busy_s += float(outcome["busy_s"])
-                counters.add(outcome["counters"])
-                if outcome["failed"]:
+                stats.busy_s += float(result["busy_s"])
+                counters.add(result["counters"])
+                if result["failed"]:
                     stats.cells_failed += 1
                 elif store is not None:
-                    store.save(
-                        str(outcome["cell_id"]), outcome["payload"]
-                    )
+                    # Flush incrementally: an interrupt or crash later
+                    # loses nothing already completed.
+                    store.save(str(result["cell_id"]), result["payload"])
                 if progress is not None:
-                    status = "failed" if outcome["failed"] else "done"
-                    progress(f"{outcome['cell_id']}: {status}")
+                    status = "failed" if result["failed"] else "done"
+                    progress(f"{outcome.task_id}: {status}")
+            elif outcome.status == "cancelled":
+                continue
+            else:  # "error" or "lost": fail the sweep loudly
+                failure = (
+                    f"cell {outcome.task_id!r} {outcome.status} after "
+                    f"{outcome.dispatches} dispatch(es): {outcome.error}"
+                )
+                break
     finally:
-        pool.shutdown(wait=True)
+        supervisor.shutdown()
+        supervisor.join(timeout=30.0)
+        if in_main_thread:
+            signal.signal(signal.SIGINT, previous_handler)
+
     stats.elapsed_s = now() - started
     stats.counters = counters.snapshot()
     # Fold worker counters into this process's totals so `repro perf`
     # style reporting sees the whole sweep regardless of sharding.
     COUNTERS.add(stats.counters)
+    if failure is not None:
+        raise HarnessError(failure)
+    if interrupted.is_set():
+        raise KeyboardInterrupt
     return stats

@@ -157,6 +157,7 @@ def run_all(
     policy: Optional[ExecutionPolicy] = None,
     checkpoint_dir: Optional[str] = None,
     workers: Optional[int] = None,
+    cell_timeout_s: Optional[float] = None,
     snapshot_trials: bool = False,
     audit_snapshots: bool = False,
     sequential: Optional[SequentialPolicy] = None,
@@ -185,6 +186,13 @@ def run_all(
             assembly below then reuses every journaled cell — the
             resume path — so records are byte-identical to a serial
             run for any worker count.
+        cell_timeout_s: Per-cell wall-clock deadline for the parallel
+            prefill (``None`` uses
+            :data:`repro.harness.parallel.DEFAULT_CELL_TIMEOUT_S`).
+            A hung worker is killed at the deadline and the cell is
+            redispatched deterministically.  Serial runs cannot
+            preempt themselves, so the deadline only applies with
+            ``workers > 1``.
         snapshot_trials: Run the attack cells under the snapshot trial
             protocol (:attr:`repro.core.attack.AttackConfig.snapshot_trials`).
             Recorded in the checkpoint metadata, so a ``--resume``
@@ -256,6 +264,7 @@ def run_all(
             store=store,
         )
         from repro.harness.parallel import (
+            DEFAULT_CELL_TIMEOUT_S,
             default_workers,
             run_cells,
             sweep_specs,
@@ -284,6 +293,10 @@ def run_all(
                 workers=effective_workers,
                 fault_profile_name=fault_profile_name,
                 fault_seed=seed,
+                cell_timeout_s=(
+                    cell_timeout_s if cell_timeout_s is not None
+                    else DEFAULT_CELL_TIMEOUT_S
+                ),
             )
 
     if "table1" in chosen:

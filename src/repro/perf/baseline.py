@@ -224,6 +224,105 @@ def measure_sequential(n_runs: int = 60, seed: int = 0) -> Dict[str, Any]:
     }
 
 
+def measure_serve(
+    n_runs: int = 6, seed: int = 0, clients: int = 3, workers: int = 2,
+) -> Dict[str, Any]:
+    """Throughput + cache behaviour of the evaluation daemon.
+
+    Hosts a :class:`repro.serve.daemon.ReproDaemon` in-process, then
+    drives it with ``clients`` concurrent threads all asking for the
+    same small cell set — the synthetic multi-client load the results
+    cache exists for.  The first client to ask for a cell pays the
+    simulation; the rest should hit the cache, and the reported hit
+    rate says whether they did.
+    """
+    import asyncio
+    import threading
+
+    from repro.perf.counters import COUNTERS, PerfCounters
+    from repro.serve.client import ServeClient
+    from repro.serve.daemon import ReproDaemon, ServePolicy
+
+    specs = [
+        {"variant": variant, "channel": _WARM_CHANNEL.value,
+         "predictor": _WARM_PREDICTOR, "n_runs": n_runs, "seed": seed}
+        for variant in ("Train + Hit", "Train + Test", "Test + Hit")
+    ]
+    scratch = tempfile.mkdtemp(prefix="repro-serve-perf-")
+    before = COUNTERS.snapshot()
+    try:
+        daemon = ReproDaemon(scratch, ServePolicy(
+            workers=workers,
+            queue_limit=max(8, clients * len(specs)),
+            job_timeout_s=120.0,
+        ))
+        ready = threading.Event()
+        host = threading.Thread(
+            target=lambda: asyncio.run(daemon.run(ready)), daemon=True
+        )
+        host.start()
+        if not ready.wait(30.0):
+            raise AssertionError("serve daemon did not come up")
+
+        errors: List[str] = []
+
+        def one_client(index: int) -> None:
+            client = ServeClient(scratch)
+            for spec in specs:
+                response = client.submit(spec, wait=True, timeout_s=120.0)
+                if not response.get("ok") or response.get("state") != "done":
+                    errors.append(f"client {index}: {response}")
+
+        watch = Stopwatch()
+        with watch:
+            threads = [
+                threading.Thread(target=one_client, args=(index,))
+                for index in range(clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        ServeClient(scratch).shutdown()
+        host.join(30.0)
+        if errors:
+            raise AssertionError(
+                f"serve perf pass failed: {errors[:3]}"
+            )
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    delta = PerfCounters.delta(before, COUNTERS.snapshot())
+    served = (
+        delta.get("serve_cache_hits", 0)
+        + delta.get("serve_cache_journal_hits", 0)
+        + delta.get("serve_cache_stale", 0)
+    )
+    done = delta.get("serve_jobs_done", 0)
+    return {
+        "clients": clients,
+        "workers": workers,
+        "cells": len(specs),
+        "requests": clients * len(specs),
+        "n_runs": n_runs,
+        "elapsed_s": watch.elapsed,
+        "jobs_accepted": delta.get("serve_jobs_accepted", 0),
+        "jobs_rejected": delta.get("serve_jobs_rejected", 0),
+        "jobs_shed": delta.get("serve_jobs_shed", 0),
+        "jobs_done": done,
+        "cache_hits": delta.get("serve_cache_hits", 0),
+        "cache_journal_hits": delta.get("serve_cache_journal_hits", 0),
+        "cache_misses": delta.get("serve_cache_misses", 0),
+        "cache_hit_rate": _rate(served, delta.get("serve_cache_misses", 0)),
+        "worker_restarts": delta.get("serve_worker_restarts", 0),
+        "heartbeat_misses": delta.get("serve_heartbeat_misses", 0),
+        "job_timeouts": delta.get("serve_job_timeouts", 0),
+        "mean_queue_wait_ms": (
+            delta.get("serve_queue_wait_us", 0) / 1000.0 / done
+            if done else 0.0
+        ),
+    }
+
+
 def _sweep_pass(
     specs: Sequence[CellSpec],
     workers: int,
@@ -276,6 +375,9 @@ def perf_baseline(
     say("sequential: 1 cell, fixed-N vs group-sequential ...")
     sequential = measure_sequential(n_runs=max(n_runs, 20), seed=seed)
 
+    say("serve daemon: 3 clients x 3 cells, shared cache ...")
+    serve = measure_serve(n_runs=min(n_runs, 8), seed=seed)
+
     if profile_path:
         # Separate pass: the profiler's tracing overhead would inflate
         # the serial time and with it the reported parallel speedup.
@@ -303,6 +405,7 @@ def perf_baseline(
         "warm_batching": warm,
         "snapshot_fork": snapshot_fork,
         "sequential": sequential,
+        "serve": serve,
         "serial": {
             **serial.to_payload(),
             "program_cache_hit_rate": _rate(
@@ -388,6 +491,33 @@ def render_perf_report(report: Dict[str, Any]) -> str:
             f"/{sequential['n_runs']} after {sequential['looks']} look(s) "
             f"({stopped}), {sequential['trials_avoided']} trials avoided, "
             f"{sequential['cycles_avoided'] / 1e6:.2f}M cycles avoided"
+        )
+    serve = report.get("serve")
+    if serve is not None:
+        lines.append("")
+        lines.append(
+            f"serve daemon ({serve['clients']} clients x "
+            f"{serve['cells']} cells, {serve['workers']} workers, "
+            f"n_runs={serve['n_runs']}):"
+        )
+        lines.append(
+            f"  elapsed {serve['elapsed_s']:.2f} s — "
+            f"{serve['jobs_accepted']} accepted, "
+            f"{serve['jobs_rejected']} rejected, "
+            f"{serve['jobs_shed']} shed, "
+            f"{serve['jobs_done']} simulated"
+        )
+        lines.append(
+            f"  cache {serve['cache_hit_rate'] * 100:.1f}% hits "
+            f"({serve['cache_hits']} memory, "
+            f"{serve['cache_journal_hits']} journal, "
+            f"{serve['cache_misses']} misses), "
+            f"mean queue wait {serve['mean_queue_wait_ms']:.1f} ms"
+        )
+        lines.append(
+            f"  {serve['worker_restarts']} worker restarts, "
+            f"{serve['heartbeat_misses']} heartbeat misses, "
+            f"{serve['job_timeouts']} job timeouts"
         )
     serial = report["serial"]
     lines.append("")

@@ -1,0 +1,34 @@
+"""Attack-evaluation-as-a-service: daemon, queue, supervisor, client.
+
+The :mod:`repro.serve` package turns the sweep engine into a
+long-running service.  Its layers, bottom up:
+
+* :mod:`repro.serve.supervisor` — a supervised persistent worker pool
+  (heartbeats, hang detection, restart backoff, job timeouts) shared
+  with ``repro all --workers``;
+* :mod:`repro.serve.jobqueue` — a bounded, journaled job queue with
+  backpressure and crash recovery;
+* :mod:`repro.serve.cache` — a TTL result cache layered over the
+  checkpoint journal, keyed by ``(program hash, machine config,
+  policy)``;
+* :mod:`repro.serve.daemon` — the asyncio daemon speaking JSON-lines
+  over a UNIX socket plus a minimal local HTTP mirror;
+* :mod:`repro.serve.client` — the synchronous client behind
+  ``repro submit`` / ``repro jobs``.
+
+Everything the service computes flows through the same pure-cell
+machinery as the batch CLI, so a served verdict is byte-identical to a
+clean serial run — the chaos bench asserts exactly that.
+"""
+
+from repro.serve.supervisor import (  # noqa: F401
+    SupervisorPolicy,
+    TaskOutcome,
+    WorkerSupervisor,
+)
+
+__all__ = [
+    "SupervisorPolicy",
+    "TaskOutcome",
+    "WorkerSupervisor",
+]

@@ -1,0 +1,95 @@
+"""TTL result cache layered over the checkpoint journal.
+
+Lookup ladder, cheapest first:
+
+1. **Fresh memory hit** — the verdict was computed (or re-read)
+   within ``ttl_s``; served instantly, counted as
+   ``serve_cache_hits``.
+2. **Journal hit** — the checkpoint store holds the cell's record
+   (this run or any previous one); re-read, re-stamped into memory,
+   counted as ``serve_cache_journal_hits``.  Journal records are
+   authoritative: results are pure functions of the job key, so a
+   journal hit can never be *wrong*, only cold.
+3. **Stale memory hit** — only consulted when the caller allows it
+   (degraded mode): a TTL-expired memory entry is served with an
+   explicit ``stale`` marker and its age, counted as
+   ``serve_cache_stale``.
+4. **Miss** — counted as ``serve_cache_misses``; the daemon enqueues
+   a simulation.
+
+The TTL exists to bound *memory*, not correctness: expired entries
+fall back to the journal read, and the stale path only matters when
+the journal layer is unavailable or load must be shed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import HarnessError
+from repro.harness.checkpoint import CheckpointStore
+from repro.perf.counters import COUNTERS
+from repro.perf.observe import now
+
+
+class ResultCache:
+    """Memory TTL layer over a :class:`CheckpointStore` journal."""
+
+    def __init__(self, store: CheckpointStore, ttl_s: float = 300.0,
+                 max_entries: int = 1024) -> None:
+        if ttl_s <= 0:
+            raise HarnessError(f"ttl_s must be > 0, got {ttl_s}")
+        if max_entries < 1:
+            raise HarnessError(f"max_entries must be >= 1, got {max_entries}")
+        self.store = store
+        self.ttl_s = ttl_s
+        self.max_entries = max_entries
+        self._memory: Dict[str, Tuple[float, Dict[str, Any]]] = {}
+
+    def _cell_id(self, key: str) -> str:
+        return f"serve/{key}"
+
+    def _remember(self, key: str, payload: Dict[str, Any]) -> None:
+        if key not in self._memory and len(self._memory) >= self.max_entries:
+            # FIFO eviction: oldest stamp out first.  Evicted entries
+            # survive in the journal, so eviction costs a file read,
+            # never a simulation.
+            oldest = min(self._memory, key=lambda k: self._memory[k][0])
+            del self._memory[oldest]
+        self._memory[key] = (now(), payload)
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Install a freshly computed verdict (journal already holds it)."""
+        self._remember(key, payload)
+
+    def lookup(
+        self, key: str, allow_stale: bool = False
+    ) -> Optional[Dict[str, Any]]:
+        """One verdict for ``key``, or None on a miss.
+
+        The returned dict carries the cached payload plus serving
+        metadata: ``source`` (``"memory"`` | ``"journal"`` |
+        ``"stale"``), ``stale`` and ``age_s``.
+        """
+        stamped = self._memory.get(key)
+        age = now() - stamped[0] if stamped is not None else None
+        if stamped is not None and age is not None and age <= self.ttl_s:
+            COUNTERS.serve_cache_hits += 1
+            return {"payload": stamped[1], "source": "memory",
+                    "stale": False, "age_s": age}
+        cell_id = self._cell_id(key)
+        if self.store.has(cell_id):
+            payload = self.store.load(cell_id)
+            self._remember(key, payload)
+            COUNTERS.serve_cache_journal_hits += 1
+            return {"payload": payload, "source": "journal",
+                    "stale": False, "age_s": 0.0}
+        if stamped is not None and allow_stale:
+            COUNTERS.serve_cache_stale += 1
+            return {"payload": stamped[1], "source": "stale",
+                    "stale": True, "age_s": age}
+        COUNTERS.serve_cache_misses += 1
+        return None
+
+    def __len__(self) -> int:
+        return len(self._memory)

@@ -1,0 +1,115 @@
+"""Synchronous UNIX-socket client for the evaluation daemon.
+
+One connection per request — the protocol is a single JSON line each
+way, so connection reuse buys nothing and per-request connects keep
+the client trivially safe to share across threads (each call owns its
+socket).
+
+The daemon root is all a client needs::
+
+    client = ServeClient("/path/to/daemon/root")
+    response = client.submit({"variant": "spectre-lvp"}, wait=True)
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+from typing import Any, Dict, List, Optional
+
+from repro.errors import HarnessError
+from repro.serve.daemon import SOCKET_FILE
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    decode_message,
+    encode_message,
+)
+
+
+class ServeClient:
+    """Talk to one :class:`repro.serve.daemon.ReproDaemon`."""
+
+    def __init__(self, root: str, timeout_s: float = 330.0) -> None:
+        self.socket_path = (
+            root if root.endswith(".sock")
+            else os.path.join(root, SOCKET_FILE)
+        )
+        self.timeout_s = timeout_s
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One round trip: send a request line, read the response line.
+
+        Raises:
+            HarnessError: Daemon not reachable, or it hung up without
+                answering.
+        """
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+                sock.settimeout(self.timeout_s)
+                sock.connect(self.socket_path)
+                sock.sendall(encode_message(payload))
+                line = self._readline(sock)
+        except OSError as error:
+            raise HarnessError(
+                f"daemon not reachable at {self.socket_path!r}: {error}"
+            ) from None
+        if not line:
+            raise HarnessError("daemon closed the connection mid-request")
+        return decode_message(line)
+
+    @staticmethod
+    def _readline(sock: socket.socket) -> bytes:
+        chunks: List[bytes] = []
+        size = 0
+        while size < MAX_LINE_BYTES:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            size += len(chunk)
+            if chunk.endswith(b"\n"):
+                break
+        return b"".join(chunks)
+
+    # -- operations ----------------------------------------------------
+
+    def submit(
+        self,
+        spec: Dict[str, Any],
+        policy: Optional[str] = None,
+        wait: bool = False,
+        timeout_s: float = 300.0,
+    ) -> Dict[str, Any]:
+        """Submit one attack-cell job (optionally block for the verdict)."""
+        request: Dict[str, Any] = {"op": "submit", "spec": spec}
+        if policy is not None:
+            request["policy"] = policy
+        if wait:
+            request["wait"] = True
+            request["timeout_s"] = timeout_s
+        return self.request(request)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """The current journal record of one job."""
+        return self.request({"op": "status", "job_id": job_id})
+
+    def wait(self, job_id: str, timeout_s: float = 300.0) -> Dict[str, Any]:
+        """Block until a job settles (or the timeout lapses)."""
+        return self.request(
+            {"op": "wait", "job_id": job_id, "timeout_s": timeout_s}
+        )
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """Every job the daemon knows about, admission-ordered."""
+        response = self.request({"op": "jobs"})
+        if not response.get("ok"):
+            raise HarnessError(str(response.get("error")))
+        return list(response["jobs"])
+
+    def stats(self) -> Dict[str, Any]:
+        """Service counters (queue depth, cache rates, supervision)."""
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to drain and exit."""
+        return self.request({"op": "shutdown"})

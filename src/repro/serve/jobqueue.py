@@ -1,0 +1,196 @@
+"""Bounded, journaled job queue with backpressure and crash recovery.
+
+Every accepted job is journaled as one atomic JSON file under the
+queue directory, updated in place on each state transition::
+
+    queued -> running -> done | failed
+           \\-> cancelled            (drain/interrupt)
+
+The journal is the queue's crash story: :meth:`JobQueue.recover` loads
+it on daemon start and re-enqueues every job that was ``queued`` or
+``running`` when the previous process died.  Because job results are
+pure functions of the job key, a recovered job either completes from
+the checkpoint journal without re-simulation (the cell finished before
+the crash) or re-runs to the byte-identical verdict.
+
+Admission is bounded: :meth:`JobQueue.admit` raises
+:class:`QueueFullError` carrying a ``retry_after_s`` hint when
+``capacity`` unfinished jobs are already held — backpressure the
+daemon translates into a reject-with-retry-after response instead of
+unbounded memory growth.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.errors import HarnessError
+from repro.harness.checkpoint import atomic_write_json
+from repro.serve.protocol import job_key  # noqa: F401  (re-export context)
+
+#: Job states considered unfinished (count against capacity, recovered
+#: after a crash).
+OPEN_STATES = ("queued", "running")
+
+#: Terminal job states.
+CLOSED_STATES = ("done", "failed", "cancelled")
+
+
+class QueueFullError(HarnessError):
+    """Admission refused: the queue holds ``capacity`` open jobs."""
+
+    def __init__(self, message: str, retry_after_s: float) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class JobQueue:
+    """FIFO of open jobs, journaled one atomic file per job.
+
+    Not thread-safe by itself — the daemon serialises access through
+    its event loop.
+    """
+
+    def __init__(self, directory: str, capacity: int) -> None:
+        if capacity < 1:
+            raise HarnessError(f"capacity must be >= 1, got {capacity}")
+        self.directory = directory
+        self.capacity = capacity
+        os.makedirs(directory, exist_ok=True)
+        self._jobs: Dict[str, Dict[str, Any]] = {}
+        self._pending: Deque[str] = deque()
+        self._seq = 0
+
+    # -- journal -------------------------------------------------------
+    def _job_path(self, job_id: str) -> str:
+        return os.path.join(self.directory, f"{job_id}.json")
+
+    def _persist(self, job: Dict[str, Any]) -> None:
+        atomic_write_json(self._job_path(job["job_id"]), job)
+
+    def recover(self) -> List[Dict[str, Any]]:
+        """Load the journal; re-enqueue open jobs (crash recovery).
+
+        Returns the recovered open jobs in original admission order.
+        Unreadable job files are renamed aside (``*.corrupt``) — a
+        torn write can only have hit a job record mid-transition, and
+        the client will resubmit idempotently by key.
+        """
+        records: List[Dict[str, Any]] = []
+        for name in sorted(os.listdir(self.directory)):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                with open(path) as handle:
+                    job = json.load(handle)
+                if not isinstance(job, dict) or "job_id" not in job:
+                    raise HarnessError(f"malformed job record {name!r}")
+            except (OSError, ValueError, HarnessError):
+                try:
+                    os.replace(path, path + ".corrupt")
+                except OSError:
+                    pass
+                continue
+            records.append(job)
+        records.sort(key=lambda job: int(job.get("seq", 0)))
+        recovered: List[Dict[str, Any]] = []
+        for job in records:
+            self._jobs[job["job_id"]] = job
+            self._seq = max(self._seq, int(job.get("seq", 0)) + 1)
+            if job.get("state") in OPEN_STATES:
+                job["state"] = "queued"
+                job["recovered"] = True
+                self._persist(job)
+                self._pending.append(job["job_id"])
+                recovered.append(job)
+        return recovered
+
+    # -- admission -----------------------------------------------------
+    def open_count(self) -> int:
+        """Jobs currently queued or running."""
+        return sum(
+            1 for job in self._jobs.values()
+            if job.get("state") in OPEN_STATES
+        )
+
+    def admit(
+        self,
+        job_id: str,
+        record: Dict[str, Any],
+        retry_after_s: float,
+    ) -> Dict[str, Any]:
+        """Accept one job, or push back when full.
+
+        Raises:
+            QueueFullError: At capacity; carries ``retry_after_s``.
+        """
+        existing = self._jobs.get(job_id)
+        if existing is not None and existing.get("state") in OPEN_STATES:
+            # Idempotent resubmit of an open job: coalesce.
+            return existing
+        if self.open_count() >= self.capacity:
+            raise QueueFullError(
+                f"queue full ({self.capacity} open job(s)); retry in "
+                f"{retry_after_s:.1f}s",
+                retry_after_s=retry_after_s,
+            )
+        job = {**record, "job_id": job_id, "state": "queued",
+               "seq": self._seq}
+        self._seq += 1
+        self._jobs[job_id] = job
+        self._persist(job)
+        self._pending.append(job_id)
+        return job
+
+    def next_queued(self) -> Optional[Dict[str, Any]]:
+        """Pop the oldest queued job and mark it running."""
+        while self._pending:
+            job_id = self._pending.popleft()
+            job = self._jobs.get(job_id)
+            if job is not None and job.get("state") == "queued":
+                job["state"] = "running"
+                self._persist(job)
+                return job
+        return None
+
+    # -- transitions ---------------------------------------------------
+    def get(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The job record, or None."""
+        return self._jobs.get(job_id)
+
+    def mark(self, job_id: str, state: str, **extra: Any) -> Dict[str, Any]:
+        """Transition one job and journal the new state.
+
+        Raises:
+            HarnessError: Unknown job or unknown state.
+        """
+        if state not in OPEN_STATES + CLOSED_STATES:
+            raise HarnessError(f"unknown job state {state!r}")
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise HarnessError(f"unknown job {job_id!r}")
+        job["state"] = state
+        job.update(extra)
+        self._persist(job)
+        if state == "queued" and job_id not in self._pending:
+            self._pending.append(job_id)
+        return job
+
+    def requeue_running(self) -> int:
+        """Demote running jobs to queued (drain: journal says resume)."""
+        count = 0
+        for job in self._jobs.values():
+            if job.get("state") == "running":
+                self.mark(job["job_id"], "queued")
+                count += 1
+        return count
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """Every known job, admission-ordered."""
+        return sorted(
+            self._jobs.values(), key=lambda job: int(job.get("seq", 0))
+        )
