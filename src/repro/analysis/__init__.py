@@ -19,7 +19,12 @@ four passes:
   :mod:`repro.core.model`;
 * :mod:`repro.analysis.preflight` — the harness-facing lint: every
   sweep cell is validated before any simulation budget is spent,
-  raising :class:`~repro.errors.AnalysisError` on contradictions.
+  raising :class:`~repro.errors.AnalysisError` on contradictions;
+* :mod:`repro.analysis.enumerate` — the exhaustive hunt: synthesizes
+  and abstractly interprets a concrete program for **all 576** Table I
+  (train, modify, trigger) combinations and certifies Table II's
+  twelve variants as the complete, minimal set of effective classes,
+  emitting a machine-checked ``hunt_certificate.json``.
 
 :mod:`repro.analysis.codelint` is separate: an AST-based determinism
 lint over the reproduction's own Python sources.
@@ -31,7 +36,22 @@ from repro.analysis.capture import (
     CaptureMemory,
     capture_variant,
 )
-from repro.analysis.classify import StaticClassification, classify_cell
+from repro.analysis.classify import (
+    StaticClassification,
+    classify_cell,
+    derive_combo,
+)
+from repro.analysis.enumerate import (
+    ComboVerdict,
+    build_certificate,
+    canonical_combo,
+    dynamic_targets,
+    follow_reduction,
+    hunt_certificate,
+    hunt_records,
+    parse_combo,
+    static_trial,
+)
 from repro.analysis.preflight import (
     PreflightReport,
     gadget_corpus,
@@ -50,6 +70,7 @@ __all__ = [
     "CaptureCore",
     "CaptureMemory",
     "CapturedTrial",
+    "ComboVerdict",
     "PredictionOutcome",
     "PreflightReport",
     "StaticClassification",
@@ -57,10 +78,19 @@ __all__ = [
     "TriggerEvent",
     "VpsAbstractMachine",
     "analyze_taint",
+    "build_certificate",
+    "canonical_combo",
     "capture_variant",
     "classify_cell",
+    "derive_combo",
+    "dynamic_targets",
+    "follow_reduction",
     "gadget_corpus",
+    "hunt_certificate",
+    "hunt_records",
     "lint_paths",
     "lint_program",
+    "parse_combo",
     "preflight_cell",
+    "static_trial",
 ]

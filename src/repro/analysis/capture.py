@@ -14,7 +14,7 @@ simulated cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.attack import TrialEnv
 from repro.core.channels import ChannelType
@@ -22,6 +22,9 @@ from repro.isa.instructions import Opcode
 from repro.isa.program import Program
 from repro.pipeline.trace import RunResult
 from repro.workloads.gadgets import Layout
+
+if TYPE_CHECKING:
+    from repro.core.variants import AttackVariant
 
 
 @dataclass(frozen=True)
@@ -121,7 +124,7 @@ class CapturedTrial:
 
 
 def capture_variant(
-    variant,
+    variant: "AttackVariant",
     channel: ChannelType,
     mapped: bool,
     *,

@@ -25,7 +25,7 @@ prediction of whether the cell can constitute an attack at all.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.capture import CapturedTrial, capture_variant
 from repro.analysis.taint import analyze_taint
@@ -40,7 +40,11 @@ from repro.core.actions import (
 from repro.core.channels import ChannelType
 from repro.core.model import Classification, Combo, classify
 from repro.errors import AnalysisError
+from repro.isa.program import Program
 from repro.workloads.gadgets import Layout
+
+if TYPE_CHECKING:
+    from repro.core.variants import AttackVariant
 
 #: The three step roles, in step order, with the load tag naming each.
 STEP_TAGS: Tuple[Tuple[str, str], ...] = (
@@ -107,7 +111,7 @@ class StaticClassification:
 # Step extraction
 # ----------------------------------------------------------------------
 
-def _step_program(trial: CapturedTrial, tag: str):
+def _step_program(trial: CapturedTrial, tag: str) -> Optional[Program]:
     """The unique program of ``trial`` containing a ``tag`` load."""
     matches = [
         captured.program for captured in trial.programs
@@ -121,7 +125,7 @@ def _step_program(trial: CapturedTrial, tag: str):
     return matches[0] if matches else None
 
 
-def _tagged_load(program, tag: str):
+def _tagged_load(program: Program, tag: str) -> Tuple[int, int, bool]:
     """(pc, addr, secret) of the first dynamic ``tag`` load."""
     loads = analyze_taint(program).loads_tagged(tag)
     if not loads:
@@ -193,10 +197,14 @@ def _derive_step(
             )
         else:
             why = "load carries the secret annotation"
+        # The object key carries *both* hypothesis addresses: under the
+        # mapped hypothesis two distinct secret flavours may resolve to
+        # the same concrete slot (that equality is the hypothesis), so
+        # the unmapped address is what keeps their objects distinct.
         return _RawStep(
             role=role, program=prog_m.name, pid=prog_m.pid, secret=True,
             dimension=Dimension.DATA,
-            object_key=("data", prog_m.pid, addr_m),
+            object_key=("data", prog_m.pid, addr_m, addr_u),
             reason=why + ": secret data access",
             pc=pc_m, addr=addr_m,
         )
@@ -221,9 +229,20 @@ _FLAVOUR_ORDER = (SecretFlavour.PRIME, SecretFlavour.DOUBLE_PRIME)
 def _actions_of(
     raw_steps: List[Optional[_RawStep]],
     layout: Layout,
+    pc_dimension: Optional[Mapping[int, Dimension]] = None,
 ) -> List[Action]:
-    """Resolve flavours and known-step dimensions, build Actions."""
+    """Resolve flavours and known-step dimensions, build Actions.
+
+    ``pc_dimension`` optionally maps a load PC to the dimension a
+    *known* access at that PC targets.  Without it, known steps
+    inherit the secret dimension of the cell (or DATA) — fine for the
+    six hand-built variants, but the exhaustive enumerator generates
+    mixed-dimension combos where a known index access must not be
+    mistaken for a known data access.
+    """
     flavours: Dict[Tuple, SecretFlavour] = {}
+    #: Flavour namespaces are per dimension (D'/D'' vs I'/I'').
+    dimension_counts: Dict[Dimension, int] = {}
     secret_dimension: Optional[Dimension] = None
     for raw in raw_steps:
         if raw is None or not raw.secret:
@@ -231,12 +250,16 @@ def _actions_of(
         if secret_dimension is None:
             secret_dimension = raw.dimension
         if raw.object_key not in flavours:
-            if len(flavours) >= len(_FLAVOUR_ORDER):
+            assert raw.dimension is not None
+            seen = dimension_counts.get(raw.dimension, 0)
+            if seen >= len(_FLAVOUR_ORDER):
                 raise AnalysisError(
-                    "more than two distinct secret objects in one cell: "
+                    "more than two distinct secret objects in one "
+                    "dimension: "
                     + ", ".join(repr(k) for k in flavours)
                 )
-            flavours[raw.object_key] = _FLAVOUR_ORDER[len(flavours)]
+            flavours[raw.object_key] = _FLAVOUR_ORDER[seen]
+            dimension_counts[raw.dimension] = seen + 1
 
     actions: List[Action] = []
     for raw in raw_steps:
@@ -258,15 +281,67 @@ def _actions_of(
                 dimension=raw.dimension, flavour=flavours[raw.object_key],
             ))
         else:
+            dimension = None
+            if pc_dimension is not None and raw.pc is not None:
+                dimension = pc_dimension.get(raw.pc)
+            if dimension is None:
+                dimension = secret_dimension or Dimension.DATA
             actions.append(Action(
                 actor=actor, knowledge=Knowledge.KNOWN,
-                dimension=secret_dimension or Dimension.DATA,
+                dimension=dimension,
             ))
     return actions
 
 
+def derive_combo(
+    mapped: CapturedTrial,
+    unmapped: CapturedTrial,
+    layout: Optional[Layout] = None,
+    *,
+    pc_dimension: Optional[Mapping[int, Dimension]] = None,
+    required_roles: Sequence[str] = ("train", "trigger"),
+) -> Tuple[Combo, List[StepDerivation]]:
+    """Diff two hypothesis captures into a Table I :class:`Combo`.
+
+    The captures may come from :func:`capture_variant` or be built by
+    hand (the enumerator constructs :class:`CapturedTrial` objects
+    directly).  Step roles are keyed purely by load tag, so submission
+    order does not matter; missing required roles raise.
+
+    Raises:
+        AnalysisError: If the captures cannot be mapped onto the
+            three-step schema (missing required step, ambiguous tags,
+            secret access by the receiver, >2 secret objects).
+    """
+    layout = layout or mapped.layout
+    raw_steps = [
+        _derive_step(role, tag, mapped, unmapped)
+        for role, tag in STEP_TAGS
+    ]
+    for raw, (role, tag) in zip(raw_steps, STEP_TAGS):
+        if raw is None and role in required_roles:
+            raise AnalysisError(
+                f"no {role} step: no captured program contains a "
+                f"{tag!r} load"
+            )
+    actions = _actions_of(raw_steps, layout, pc_dimension)
+    combo = Combo(train=actions[0], modify=actions[1], trigger=actions[2])
+    steps = [
+        StepDerivation(
+            role=role,
+            program=raw.program if raw else None,
+            action=action,
+            reason=raw.reason if raw else "step not used",
+            pc=raw.pc if raw else None,
+            addr=raw.addr if raw else None,
+        )
+        for raw, action, (role, _) in zip(raw_steps, actions, STEP_TAGS)
+    ]
+    return combo, steps
+
+
 def classify_cell(
-    variant,
+    variant: "AttackVariant",
     channel: ChannelType,
     *,
     confidence: int = 4,
@@ -295,30 +370,11 @@ def classify_cell(
         chain_length=chain_length, modify_mode=modify_mode, layout=layout,
     )
 
-    raw_steps = [
-        _derive_step(role, tag, mapped, unmapped)
-        for role, tag in STEP_TAGS
-    ]
-    for raw, (role, tag) in zip(raw_steps, STEP_TAGS):
-        if raw is None and role != "modify":
-            raise AnalysisError(
-                f"variant {variant.name!r} has no {role} step: no captured "
-                f"program contains a {tag!r} load"
-            )
-    actions = _actions_of(raw_steps, layout)
-    combo = Combo(train=actions[0], modify=actions[1], trigger=actions[2])
+    try:
+        combo, steps = derive_combo(mapped, unmapped, layout)
+    except AnalysisError as exc:
+        raise AnalysisError(f"variant {variant.name!r}: {exc}") from None
     classification = classify(combo)
-    steps = [
-        StepDerivation(
-            role=role,
-            program=raw.program if raw else None,
-            action=action,
-            reason=raw.reason if raw else "step not used",
-            pc=raw.pc if raw else None,
-            addr=raw.addr if raw else None,
-        )
-        for raw, action, (role, _) in zip(raw_steps, actions, STEP_TAGS)
-    ]
     return StaticClassification(
         variant_name=variant.name,
         channel=channel,

@@ -46,17 +46,33 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.analysis.classify import StaticClassification, classify_cell
-from repro.analysis.taint import analyze_taint, dst_ever_read
-from repro.analysis.vpstate import PredictionOutcome, VpsAbstractMachine
+from repro.analysis.taint import TaintReport, analyze_taint, dst_ever_read
+from repro.analysis.vpstate import (
+    PredictionOutcome,
+    TriggerEvent,
+    VpsAbstractMachine,
+)
 from repro.core.channels import ChannelType
 from repro.errors import AnalysisError, IsaError
 from repro.isa.assembler import assemble
 from repro.isa.program import Program
 from repro.workloads import gadgets
 from repro.workloads.gadgets import Layout
+
+if TYPE_CHECKING:
+    from repro.core.variants import AttackVariant
 
 
 @dataclass(frozen=True)
@@ -181,7 +197,12 @@ def lint_program(
     return report
 
 
-def _secret_sink_issues(program, taint, own_events, cell_events):
+def _secret_sink_issues(
+    program: Program,
+    taint: TaintReport,
+    own_events: Sequence[TriggerEvent],
+    cell_events: Sequence[TriggerEvent],
+) -> List[LintIssue]:
     """The ``secret-unencoded`` rule: every secret load needs a sink."""
     if not taint.secret_loads:
         return []
@@ -306,7 +327,7 @@ def gadget_corpus(layout: Optional[Layout] = None) -> List[Tuple[str, Program]]:
 # ----------------------------------------------------------------------
 
 def preflight_cell(
-    variant,
+    variant: "AttackVariant",
     channel: ChannelType,
     *,
     predictor: str = "lvp",
@@ -368,15 +389,22 @@ def preflight_cell(
     return report
 
 
-def _trigger_events(machine, trigger_name):
+def _trigger_events(
+    machine: VpsAbstractMachine, trigger_name: Optional[str]
+) -> List[TriggerEvent]:
     return [
         e for e in machine.events
         if e.program == trigger_name and e.tag == "trigger-load"
     ]
 
 
-def _distinguishability_issues(static, machines, trigger_name, channel,
-                               subject):
+def _distinguishability_issues(
+    static: StaticClassification,
+    machines: Dict[str, VpsAbstractMachine],
+    trigger_name: Optional[str],
+    channel: ChannelType,
+    subject: str,
+) -> List[LintIssue]:
     """Do the two hypotheses produce different trigger behaviour?"""
     events_m = _trigger_events(machines["mapped"], trigger_name)
     events_u = _trigger_events(machines["unmapped"], trigger_name)
@@ -412,7 +440,12 @@ def _distinguishability_issues(static, machines, trigger_name, channel,
     return [LintIssue(rule, message, subject, pc=first_m.pc)]
 
 
-def _channel_issues(static, trigger_name, channel, subject):
+def _channel_issues(
+    static: StaticClassification,
+    trigger_name: Optional[str],
+    channel: ChannelType,
+    subject: str,
+) -> List[LintIssue]:
     """Structural channel contracts on the trigger program."""
     trial = static.mapped if static.mapped.program_named(trigger_name) \
         else static.unmapped

@@ -12,6 +12,12 @@ Three consumers:
   :func:`repro.harness.persistence.run_all` and show, per sweep cell,
   whether the *static* Table II classification agreed with the
   *dynamic* p-value verdict.
+
+``repro report --hunt`` additionally reads the exhaustive hunt's
+artifacts (``hunt_certificate.json`` / ``hunt_dynamic.json``, written
+by :mod:`repro.harness.hunt`) and renders the certificate's claims
+next to the per-survivor static/dynamic agreement
+(:func:`hunt_agreement_rows` / :func:`render_hunt`).
 """
 
 from __future__ import annotations
@@ -164,7 +170,7 @@ def render_code_issues(issues: Sequence[CodeLintIssue]) -> str:
 # Static/dynamic agreement (repro report)
 # ----------------------------------------------------------------------
 
-def _record_rows(cell_name: str, record) -> List[Dict[str, object]]:
+def _record_rows(cell_name: str, record: object) -> List[Dict[str, object]]:
     if not isinstance(record, dict) or "pvalue" not in record:
         return []
     static = record.get("static")
@@ -277,4 +283,130 @@ def render_agreement(rows: Sequence[Dict[str, object]]) -> str:
         f"{agreed} agree, {disagreed} disagree, {unknown} without "
         "static record"
     )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Hunt certificate + dynamic confirmation (repro report --hunt)
+# ----------------------------------------------------------------------
+
+def hunt_agreement_rows(
+    certificate: Dict[str, object],
+    dynamic: Optional[Dict[str, object]] = None,
+) -> List[Dict[str, object]]:
+    """Merge the certificate's survivors with the dynamic measurements.
+
+    One row per equivalence class (and per dynamic target outside the
+    classes, should a completeness counterexample ever be measured);
+    ``dynamic_effective``/``pvalue`` are ``None`` when the class has
+    not been measured yet (static-only runs).
+    """
+    dynamic_by_symbol: Dict[str, Dict[str, object]] = {}
+    if isinstance(dynamic, dict):
+        for row in dynamic.get("rows", []):
+            dynamic_by_symbol[str(row.get("symbol"))] = row
+
+    rows: List[Dict[str, object]] = []
+    for entry in certificate.get("classes", []):
+        symbol = str(entry.get("symbol"))
+        measured = dynamic_by_symbol.pop(symbol, None)
+        rows.append({
+            "symbol": symbol,
+            "category": entry.get("category"),
+            "members": entry.get("members"),
+            "static_effective": True,
+            "dynamic_effective": (
+                measured.get("dynamic_effective")
+                if measured is not None else None
+            ),
+            "pvalue": measured.get("pvalue") if measured is not None else None,
+            "effective_n": (
+                measured.get("effective_n") if measured is not None else None
+            ),
+            "agree": measured.get("agree") if measured is not None else None,
+        })
+    # Dynamic targets that are not class representatives (candidate
+    # new variants surfaced by a failed completeness claim).
+    for symbol, measured in sorted(dynamic_by_symbol.items()):
+        rows.append({
+            "symbol": symbol,
+            "category": measured.get("category"),
+            "members": None,
+            "static_effective": measured.get("static_effective"),
+            "dynamic_effective": measured.get("dynamic_effective"),
+            "pvalue": measured.get("pvalue"),
+            "effective_n": measured.get("effective_n"),
+            "agree": measured.get("agree"),
+        })
+    return rows
+
+
+def render_hunt(
+    certificate: Dict[str, object],
+    dynamic: Optional[Dict[str, object]] = None,
+) -> str:
+    """The hunt summary: claims, verdict counts, agreement table."""
+    verdicts = certificate.get("verdicts", {})
+    space = certificate.get("space", {})
+    lines = [
+        f"Attack-space hunt over {space.get('combos', '?')} combos "
+        f"({space.get('train_actions', '?')} train x "
+        f"{space.get('modify_actions', '?')} modify x "
+        f"{space.get('trigger_actions', '?')} trigger), "
+        f"confidence {certificate.get('confidence', '?')}:",
+        f"  verdicts: {verdicts.get('effective', 0)} effective, "
+        f"{verdicts.get('reducible', 0)} reducible, "
+        f"{verdicts.get('invalid', 0)} invalid",
+        "",
+        "claims:",
+    ]
+    claims = certificate.get("claims", {})
+    for name in sorted(claims):
+        claim = claims[name]
+        status = "ok" if claim.get("ok") else "FAILED"
+        lines.append(f"  {name:22s} {status:6s} {claim.get('statement', '')}")
+        if not claim.get("ok"):
+            for counterexample in claim.get("counterexamples", [])[:10]:
+                lines.append(f"    !! {counterexample}")
+    lines.append("")
+
+    rows = hunt_agreement_rows(certificate, dynamic)
+    lines.append(
+        f"{'class':28s} {'category':14s} {'members':>7s} {'static':8s} "
+        f"{'dynamic':8s} {'p-value':>9s} {'eff-n':>6s} agree"
+    )
+    disagreed = 0
+    for row in rows:
+        static_text = "attack" if row["static_effective"] else "no-attk"
+        measured = row["dynamic_effective"]
+        dynamic_text = (
+            "" if measured is None else ("attack" if measured else "no-attk")
+        )
+        pvalue = row["pvalue"]
+        pvalue_text = "" if pvalue is None else f"{pvalue:9.2e}"
+        members = row["members"]
+        members_text = "" if members is None else str(members)
+        agree = row["agree"]
+        agree_text = "n/a" if agree is None else ("yes" if agree else "NO")
+        disagreed += 1 if agree is False else 0
+        lines.append(
+            f"{row['symbol']:28.28s} {str(row['category'] or ''):14s} "
+            f"{members_text:>7s} {static_text:8s} {dynamic_text:8s} "
+            f"{pvalue_text:>9s} {str(row['effective_n'] or ''):>6s} "
+            f"{agree_text}"
+        )
+    extended = certificate.get("extended_persistent_candidates", [])
+    lines.append("")
+    lines.append(
+        f"{len(extended)} combo(s) distinguish hypotheses by entry value "
+        "only (persistent-channel candidates, no timing leak)"
+    )
+    certified = certificate.get("certified")
+    lines.append(
+        "CERTIFIED: Table II is complete and minimal under the model"
+        if certified else
+        "NOT CERTIFIED: see failed claims above"
+    )
+    if disagreed:
+        lines.append(f"{disagreed} class(es) DISAGREE with measurement")
     return "\n".join(lines)

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from repro.isa.instructions import Opcode
+from repro.isa.instructions import Instruction, Opcode
 from repro.isa.program import Program
 
 
@@ -197,7 +197,9 @@ def analyze_taint(
     return report
 
 
-def _alu_const(ins, values: List[Optional[int]]) -> Optional[int]:
+def _alu_const(
+    ins: Instruction, values: List[Optional[int]]
+) -> Optional[int]:
     """Constant-fold an ALU op when every operand is known."""
     from repro.isa.instructions import AluOp
 

@@ -26,12 +26,15 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 
-from repro.isa.instructions import Opcode
+from repro.isa.instructions import Instruction, Opcode
 from repro.isa.program import Program
 from repro.vp.base import AccessKey
 from repro.vp.indexing import IndexFunction, PC_INDEX
+
+if TYPE_CHECKING:
+    from repro.analysis.capture import CapturedTrial
 
 
 class PredictionOutcome(enum.Enum):
@@ -134,7 +137,7 @@ class VpsAbstractMachine:
         self.events.extend(emitted)
         return emitted
 
-    def run_trial(self, trial) -> List[TriggerEvent]:
+    def run_trial(self, trial: "CapturedTrial") -> List[TriggerEvent]:
         """Replay every program of a :class:`CapturedTrial`, in order."""
         emitted: List[TriggerEvent] = []
         for captured in trial.programs:
@@ -176,7 +179,7 @@ class VpsAbstractMachine:
         self,
         program: Program,
         pc: int,
-        ins,
+        ins: Instruction,
         reg_value: Dict[int, Optional[int]],
         values: Mapping[Tuple[int, int], int],
         secret_program: bool,
@@ -230,8 +233,17 @@ class VpsAbstractMachine:
         return self._emit(program, pc, addr, index, outcome, entry_secret,
                           ins.tag, entry_value)
 
-    def _emit(self, program, pc, addr, index, outcome, entry_secret, tag,
-              entry_value):
+    def _emit(
+        self,
+        program: Program,
+        pc: int,
+        addr: Optional[int],
+        index: Optional[int],
+        outcome: PredictionOutcome,
+        entry_secret: bool,
+        tag: Optional[str],
+        entry_value: object,
+    ) -> TriggerEvent:
         return TriggerEvent(
             program=program.name, pc=pc, addr=addr, index=index,
             outcome=outcome, entry_secret=entry_secret, tag=tag,
@@ -239,7 +251,9 @@ class VpsAbstractMachine:
         )
 
     @staticmethod
-    def _alu(ins, reg_value: Dict[int, Optional[int]]) -> Optional[int]:
+    def _alu(
+        ins: Instruction, reg_value: Dict[int, Optional[int]]
+    ) -> Optional[int]:
         from repro.analysis.taint import _alu_const
 
         operands: List[Optional[int]] = [reg_value.get(ins.src1)]

@@ -9,6 +9,9 @@ Examples::
     python -m repro fig7
     python -m repro sweep --variant "Test + Hit" --windows 1,2,4,6,8,9,10
     python -m repro attack --variant "Spill Over" --defense "A[fixed]+D"
+    python -m repro hunt --static --out out
+    python -m repro hunt --out out --runs 60
+    python -m repro report --dir out --hunt
     python -m repro speedup
     python -m repro analyze examples/programs/timed_trigger.asm
     python -m repro lint --code
@@ -145,7 +148,7 @@ def _cmd_attack(args: argparse.Namespace) -> None:
     seq_policy = _sequential_policy(args)
     if seq_policy is not None or args.fault_profile or (
         args.max_retries is not None
-    ):
+    ) or args.strict_preflight:
         # Route through the resilient executor: retries, adaptive
         # re-measurement, sequential early stopping and (optional)
         # fault injection.
@@ -161,6 +164,8 @@ def _cmd_attack(args: argparse.Namespace) -> None:
         )
         if seq_policy is not None:
             policy = dataclasses.replace(policy, sequential=seq_policy)
+        if args.strict_preflight:
+            policy = dataclasses.replace(policy, strict_preflight=True)
         executor = ResilientExecutor(
             policy,
             injector=(
@@ -264,9 +269,42 @@ def _cmd_all(args: argparse.Namespace) -> None:
         snapshot_trials=args.snapshot_trials,
         audit_snapshots=args.audit_snapshots,
         sequential=_sequential_policy(args),
+        strict_preflight=args.strict_preflight,
     )
     for name, path in sorted(written.items()):
         print(f"{name}: {path}")
+
+
+def _cmd_hunt(args: argparse.Namespace) -> None:
+    from repro.analysis.report import render_hunt
+    from repro.harness.hunt import run_hunt
+
+    out = run_hunt(
+        args.out,
+        static_only=args.static,
+        n_runs=args.runs,
+        seed=args.seed,
+        confidence=args.confidence,
+        predictor=args.predictor,
+        resume=args.resume,
+    )
+    certificate = out["certificate"]
+    dynamic = out["dynamic"]
+    if args.json:
+        import json
+
+        print(json.dumps(out, indent=2, sort_keys=True))
+    else:
+        print(render_hunt(certificate, dynamic))
+    if not certificate["certified"]:
+        raise ReproError(
+            "hunt certificate failed: Table II completeness/minimality "
+            "claims do not hold under the model"
+        )
+    if dynamic is not None and not dynamic["all_agree"]:
+        raise ReproError(
+            "static/dynamic disagreement in the hunt confirmation"
+        )
 
 
 def _cmd_perf(args: argparse.Namespace) -> None:
@@ -493,6 +531,38 @@ def _cmd_report(args: argparse.Namespace) -> None:
 
     from repro.analysis.report import agreement_rows, render_agreement
 
+    if args.hunt:
+        from repro.analysis.report import render_hunt
+        from repro.harness.hunt import CERTIFICATE_FILENAME, DYNAMIC_FILENAME
+
+        certificate_path = os.path.join(args.dir, CERTIFICATE_FILENAME)
+        if not os.path.isfile(certificate_path):
+            raise ReproError(
+                f"no {CERTIFICATE_FILENAME} in {args.dir!r}; run "
+                "'repro hunt --out <dir>' first"
+            )
+        with open(certificate_path) as handle:
+            certificate = json.load(handle)
+        dynamic = None
+        dynamic_path = os.path.join(args.dir, DYNAMIC_FILENAME)
+        if os.path.isfile(dynamic_path):
+            with open(dynamic_path) as handle:
+                dynamic = json.load(handle)
+        if args.json:
+            print(json.dumps(
+                {"certificate": certificate, "dynamic": dynamic},
+                indent=2, sort_keys=True,
+            ))
+        else:
+            print(render_hunt(certificate, dynamic))
+        if not certificate.get("certified"):
+            raise ReproError("hunt certificate is not certified")
+        if dynamic is not None and not dynamic.get("all_agree"):
+            raise ReproError(
+                "static/dynamic disagreement in the hunt confirmation"
+            )
+        return
+
     artifacts = {}
     for name in ("fig5", "fig8", "table3"):
         path = os.path.join(args.dir, f"{name}.json")
@@ -590,6 +660,11 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--audit-snapshots", action="store_true",
                         help="with --snapshot-trials: replay every forked "
                              "trial cold and assert byte-identity")
+    attack.add_argument(
+        "--strict-preflight", action="store_true",
+        help="treat any static/dynamic verdict disagreement as a hard "
+             "AnalysisSoundnessError instead of a journaled note",
+    )
     _add_sequential_flags(attack)
     attack.set_defaults(func=_cmd_attack)
 
@@ -655,8 +730,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--dir", required=True,
                         help="output directory of a previous 'repro all'")
+    report.add_argument(
+        "--hunt", action="store_true",
+        help="render the hunt certificate (and, if present, the dynamic "
+             "confirmation) from <dir> instead of the artifact agreement",
+    )
     report.add_argument("--json", action="store_true")
     report.set_defaults(func=_cmd_report)
+
+    hunt = sub.add_parser(
+        "hunt",
+        help="certify the full 576-combination attack space: static "
+             "classification of every Table I combo plus dynamic "
+             "confirmation of the survivors",
+    )
+    hunt.add_argument("--out", required=True,
+                      help="output directory for hunt_certificate.json "
+                           "(and hunt_dynamic.json)")
+    hunt.add_argument("--static", action="store_true",
+                      help="static certification only: deterministic, "
+                           "byte-identical hunt_certificate.json")
+    hunt.add_argument("--runs", type=int, default=60,
+                      help="planned trials per hypothesis for dynamic "
+                           "confirmation (group-sequential, so most "
+                           "cells stop early)")
+    hunt.add_argument("--seed", type=int, default=0)
+    hunt.add_argument("--confidence", type=int, default=4,
+                      help="VPS confidence threshold for both the "
+                           "abstract interpreter and the measured cells")
+    hunt.add_argument("--predictor", default="lvp",
+                      choices=["lvp", "vtage"],
+                      help="predictor for the dynamic confirmation")
+    hunt.add_argument("--resume", action="store_true",
+                      help="resume dynamic confirmation from "
+                           "<out>/hunt_checkpoint")
+    hunt.add_argument("--json", action="store_true")
+    hunt.set_defaults(func=_cmd_hunt)
 
     sub.add_parser(
         "speedup", help="value-prediction performance benefit"
@@ -704,6 +813,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--audit-snapshots", action="store_true",
         help="with --snapshot-trials: replay every forked trial cold "
              "and assert byte-identity",
+    )
+    everything.add_argument(
+        "--strict-preflight", action="store_true",
+        help="treat any static/dynamic verdict disagreement as a hard "
+             "AnalysisSoundnessError instead of a journaled note",
     )
     _add_sequential_flags(everything)
     everything.set_defaults(func=_cmd_all)

@@ -44,7 +44,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.channels import ChannelType
 from repro.core.model import AttackCategory
@@ -65,6 +73,9 @@ from repro.vp.nopred import NoPredictor
 from repro.vp.oracle import OracleTargetPredictor
 from repro.vp.vtage import VtagePredictor
 from repro.workloads.gadgets import Layout
+
+if TYPE_CHECKING:
+    from repro.core.variants import AttackVariant
 
 
 def attack_dram_config() -> DramConfig:
@@ -256,7 +267,11 @@ class ExperimentResult:
 class AttackRunner:
     """Runs a variant's mapped/unmapped trials and aggregates statistics."""
 
-    def __init__(self, variant, config: Optional[AttackConfig] = None) -> None:
+    def __init__(
+        self,
+        variant: "AttackVariant",
+        config: Optional[AttackConfig] = None,
+    ) -> None:
         self.variant = variant
         self.config = config or AttackConfig()
         if self.config.channel not in variant.supported_channels:

@@ -11,9 +11,16 @@ Rules (applied in order; the first that fires decides):
 
 1. **Secrecy** — at least one step must be a secret action; known-only
    combos carry no information.
-2. **Dimension purity** — all non-empty actions must target one
-   dimension (data or index): an index observation cannot answer a
-   data-equality question and vice versa.
+2. **Dimension purity** — data and index accesses hit *disjoint*
+   predictor entries, so a step off the trigger's dimension is
+   vacuous: a mixed combo whose train (or modify) step shares the
+   trigger's dimension reduces to the two-step combo with the
+   off-dimension step elided; a mixed combo where *no* step shares
+   the trigger's dimension probes untrained entries and is invalid.
+   (The exhaustive hunt of :mod:`repro.analysis.enumerate` is what
+   forced the elision sub-rules: a blanket rejection misses that
+   e.g. ``(S^KD, S^KI, S^SD')`` is Train + Hit with a no-op stapled
+   on, and gets flagged as a completeness counterexample.)
 3. **Index-flavour aliasing** — combos using both I' and I'' reduce to
    their data-dimension counterpart: two secret-dependent accesses
    collide in the index space iff they are the *same access*, making
@@ -227,6 +234,24 @@ def _question_of(combo: Combo) -> str:
     return "flavours" if len(flavours) > 1 else "vs-known"
 
 
+def question_of_dimension(combo: Combo, dimension: Dimension) -> str:
+    """The distinguishing question for one dimension's accesses.
+
+    Flavour alphabets are per dimension (Table I), so the question —
+    "do the two flavours alias?" versus "does the secret equal the
+    known value?" — must be asked per dimension too.  A mixed combo
+    with one data flavour and one index flavour is still a vs-known
+    question on each dimension; :func:`_question_of` counts flavours
+    globally and agrees on every dimension-pure combo.
+    """
+    flavours = {
+        action.flavour
+        for action in combo.actions
+        if action.is_secret and action.dimension is dimension
+    }
+    return "flavours" if len(flavours) > 1 else "vs-known"
+
+
 def _index_and_value(
     action: Action, mapped: bool, question: str
 ) -> Tuple[object, object]:
@@ -395,12 +420,44 @@ def classify(combo: Combo) -> Classification:
             reason="rule 1: no secret access, nothing to leak",
         )
 
-    # Rule 2: dimension purity.
+    # Rule 2: dimension purity.  Data and index accesses occupy
+    # disjoint predictor entries, so a non-trigger step off the
+    # trigger's dimension is vacuous and can be elided; if no step
+    # shares the trigger's dimension the trigger probes untrained
+    # entries and the combo is invalid.
     dimensions = {action.dimension for action in actions}
     if len(dimensions) > 1:
+        if (
+            not combo.modify.is_none
+            and combo.train.dimension is combo.trigger.dimension
+        ):
+            reduced = Combo(combo.train, NONE_ACTION, combo.trigger)
+            return Classification(
+                combo, Verdict.REDUCIBLE, reduces_to=reduced.symbol,
+                reason=(
+                    "rule 2: the modify step is off the trigger's "
+                    "dimension; its predictor entries are disjoint and "
+                    "the step is vacuous"
+                ),
+            )
+        if (
+            not combo.modify.is_none
+            and combo.modify.dimension is combo.trigger.dimension
+        ):
+            reduced = Combo(combo.modify, NONE_ACTION, combo.trigger)
+            return Classification(
+                combo, Verdict.REDUCIBLE, reduces_to=reduced.symbol,
+                reason=(
+                    "rule 2: the train step is off the trigger's "
+                    "dimension; the modify step is the effective trainer"
+                ),
+            )
         return Classification(
             combo, Verdict.INVALID,
-            reason="rule 2: mixes data and index dimensions",
+            reason=(
+                "rule 2: mixes data and index dimensions; no step "
+                "trains the entries the trigger probes"
+            ),
         )
 
     # Rule 3: index-flavour aliasing.
@@ -449,11 +506,18 @@ def classify(combo: Combo) -> Classification:
             reason="rule 7: every step accesses one object; no hypotheses",
         )
 
-    # Rule 8: data-dimension known-step redundancy.
+    # Rule 8: data-dimension known-step redundancy.  The reduction
+    # only holds when the three-step combo can itself produce an
+    # admissible outcome pair: e.g. (S^SD', S^KD, S^SD'') poses the
+    # flavour-aliasing question, and the known modify overwrites the
+    # flavour-' training so neither hypothesis ever matches the entry
+    # — the combo is silent and falls through to rule 9 instead of
+    # reducing to an effective two-step pattern.
     if (
         Dimension.DATA in dimensions
         and not combo.modify.is_none
         and any(action.is_known for action in actions)
+        and _admissible_outcome_pairs(combo)
     ):
         if combo.train.is_known and combo.modify.is_secret:
             reduced = Combo(combo.modify, NONE_ACTION, combo.trigger)

@@ -47,7 +47,7 @@ from repro.workloads import gadgets
 #: the evaluator treats the data dimension's shared entry and the
 #: known index as separate predictor entries (mixed-dimension combos
 #: are rejected by rule 2, but the soundness check covers them too).
-_INDEX_PCS: Dict[object, int] = {
+INDEX_PCS: Dict[object, int] = {
     "shared-entry": 0x2800,
     "I_K": 0x1000,
     "I_S'": 0x1800,
@@ -55,7 +55,7 @@ _INDEX_PCS: Dict[object, int] = {
 }
 
 #: Concrete integers for the abstract value symbols.
-_VALUE_INTS: Dict[object, int] = {
+VALUE_INTS: Dict[object, int] = {
     "V_K": 100,
     "V_known": 100,
     "V_secret": 50,
@@ -71,11 +71,30 @@ _VALUE_INTS: Dict[object, int] = {
 }
 
 #: Base of the synthetic data region; one slot per (index, value) pair.
-_DATA_BASE = 0x500000
+DATA_BASE = 0x500000
 
-_PID_OF_ACTOR = {Actor.SENDER: 1, Actor.RECEIVER: 2}
+PID_OF_ACTOR: Dict[Actor, int] = {Actor.SENDER: 1, Actor.RECEIVER: 2}
 
-_BASE_PC_OF_ACTOR = {Actor.SENDER: 0x200, Actor.RECEIVER: 0x400}
+BASE_PC_OF_ACTOR: Dict[Actor, int] = {Actor.SENDER: 0x200, Actor.RECEIVER: 0x400}
+
+# Deprecated aliases (pre-hunt private names); new code should use the
+# public names above.
+_INDEX_PCS = INDEX_PCS
+_VALUE_INTS = VALUE_INTS
+_DATA_BASE = DATA_BASE
+_PID_OF_ACTOR = PID_OF_ACTOR
+_BASE_PC_OF_ACTOR = BASE_PC_OF_ACTOR
+
+
+@dataclass(frozen=True)
+class GroundedAccess:
+    """One abstract access resolved to concrete machine coordinates."""
+
+    pid: int
+    base_pc: int
+    pc: int
+    addr: int
+    value: int
 
 
 @dataclass(frozen=True)
@@ -106,7 +125,7 @@ def _deterministic_memory() -> MemorySystem:
     ))
 
 
-def _slot_address(index_symbol: object, value_symbol: object) -> int:
+def slot_address(index_symbol: object, value_symbol: object) -> int:
     """A distinct data address for each (index, value) symbol pair.
 
     For index-dimension accesses the address is tied to the index
@@ -114,20 +133,38 @@ def _slot_address(index_symbol: object, value_symbol: object) -> int:
     data dimension each value symbol gets its own location behind the
     shared entry.
     """
-    index_slot = list(_INDEX_PCS).index(
-        index_symbol if index_symbol in _INDEX_PCS else "shared-entry"
+    index_slot = list(INDEX_PCS).index(
+        index_symbol if index_symbol in INDEX_PCS else "shared-entry"
     )
-    value_slot = list(_VALUE_INTS).index(value_symbol)
-    return _DATA_BASE + (index_slot * 16 + value_slot) * 0x100
+    value_slot = list(VALUE_INTS).index(value_symbol)
+    return DATA_BASE + (index_slot * 16 + value_slot) * 0x100
+
+
+def ground_access(action: Action, mapped: bool, question: str) -> GroundedAccess:
+    """Resolve one abstract access to concrete machine coordinates.
+
+    Shared by trial synthesis, the 576-combo static enumerator and the
+    dynamic :class:`~repro.workloads.combos.ComboAttack` so all three
+    realise the model's symbols identically.
+    """
+    index_symbol, value_symbol = _index_and_value(action, mapped, question)
+    assert action.actor is not None  # empty actions access nothing
+    return GroundedAccess(
+        pid=PID_OF_ACTOR[action.actor],
+        base_pc=BASE_PC_OF_ACTOR[action.actor],
+        pc=INDEX_PCS[index_symbol],
+        addr=slot_address(index_symbol, value_symbol),
+        value=VALUE_INTS[value_symbol],
+    )
+
+
+_slot_address = slot_address
 
 
 def _ground(action: Action, mapped: bool, question: str) -> Tuple[int, int, int, int]:
     """(pid, load PC, data address, value) for one access."""
-    index_symbol, value_symbol = _index_and_value(action, mapped, question)
-    pc = _INDEX_PCS[index_symbol]
-    value = _VALUE_INTS[value_symbol]
-    addr = _slot_address(index_symbol, value_symbol)
-    return _PID_OF_ACTOR[action.actor], pc, addr, value
+    grounded = ground_access(action, mapped, question)
+    return grounded.pid, grounded.pc, grounded.addr, grounded.value
 
 
 def synthesize_trial(

@@ -62,6 +62,16 @@ class AnalysisError(ReproError):
     """
 
 
+class AnalysisSoundnessError(AnalysisError):
+    """Raised when static and dynamic verdicts disagree under strict mode.
+
+    With ``--strict-preflight`` the harness treats a cell whose static
+    classification predicts one verdict while the measurement produced
+    the other as a soundness bug in either the analyzer or the
+    simulator — a hard error instead of a report-time warning.
+    """
+
+
 class ModelError(ReproError):
     """Raised for invalid attack-model queries."""
 

@@ -161,6 +161,7 @@ def run_all(
     snapshot_trials: bool = False,
     audit_snapshots: bool = False,
     sequential: Optional[SequentialPolicy] = None,
+    strict_preflight: bool = False,
 ) -> Dict[str, str]:
     """Regenerate and persist the selected artifacts, resumably.
 
@@ -207,6 +208,14 @@ def run_all(
             :attr:`~repro.harness.runner.ExecutionPolicy.sequential`
             there instead).  Recorded in the checkpoint metadata, so a
             ``--resume`` across modes is rejected.
+        strict_preflight: Escalate any static/dynamic verdict
+            disagreement to a hard
+            :class:`~repro.errors.AnalysisSoundnessError` instead of a
+            report-time warning; ignored when ``policy`` is given (set
+            :attr:`~repro.harness.runner.ExecutionPolicy.strict_preflight`
+            there instead).  Not recorded in checkpoint metadata: it
+            changes no journaled bytes, only whether a disagreement
+            aborts the run.
 
     Returns:
         Mapping from artifact name to the path of its rendering.
@@ -257,6 +266,7 @@ def run_all(
             retry=RetryPolicy(max_retries=max_retries),
             adaptive=AdaptivePolicy(),
             sequential=sequential,
+            strict_preflight=strict_preflight,
         )
         executor = ResilientExecutor(
             effective_policy,

@@ -284,6 +284,12 @@ class ExecutionPolicy:
     cell_cycle_budget: Optional[float] = None
     fail_fast: bool = False
     preflight: bool = True
+    #: Treat a static/dynamic verdict disagreement as a hard
+    #: :class:`~repro.errors.AnalysisSoundnessError` instead of a
+    #: report-time warning.  Applies after the cell completes (cached
+    #: cells included: the journaled preflight record is compared
+    #: against the journaled dynamic verdict).
+    strict_preflight: bool = False
 
     @classmethod
     def compat(cls) -> "ExecutionPolicy":
@@ -850,7 +856,7 @@ class ResilientExecutor:
                 )
             return None
 
-        return self.supervise(
+        cell = self.supervise(
             cell_id,
             attempt_fn,
             seed=seed,
@@ -863,6 +869,49 @@ class ResilientExecutor:
             degraded_note=degraded_note,
             preflight=preflight_payload,
         )
+        self._enforce_static_agreement(cell, predictor)
+        return cell
+
+    def _enforce_static_agreement(
+        self, cell: "SupervisedCell", predictor: object
+    ) -> None:
+        """Under ``strict_preflight``, verify static == dynamic verdict.
+
+        Raises:
+            AnalysisSoundnessError: When the static classification
+                predicts one verdict and the measurement produced the
+                other.  Control cells (``predictor="none"``) are
+                expected ineffective regardless of the static verdict,
+                matching the report-time agreement semantics.
+        """
+        if not self.policy.strict_preflight:
+            return
+        payload = cell.preflight if isinstance(cell.preflight, dict) else None
+        classification = (
+            payload.get("classification") if payload is not None else None
+        )
+        if not isinstance(classification, dict) or cell.result is None:
+            return
+        static_effective = classification.get("effective")
+        if static_effective is None:
+            return
+        predictor_name = (
+            predictor if isinstance(predictor, str)
+            else getattr(predictor, "__name__", "custom")
+        )
+        predicted = bool(static_effective) and predictor_name not in ("none", "")
+        dynamic = bool(cell.result.attack_succeeds)
+        if predicted != dynamic:
+            from repro.errors import AnalysisSoundnessError
+
+            raise AnalysisSoundnessError(
+                f"cell {cell.cell_id!r}: static analysis predicts "
+                f"{'effective' if predicted else 'ineffective'} "
+                f"({classification.get('symbol', '?')}, predictor "
+                f"{predictor_name!r}) but the measurement is "
+                f"{'effective' if dynamic else 'ineffective'} "
+                f"(p={cell.result.pvalue:.3g})"
+            )
 
     def _preflight_payload(
         self,

@@ -103,3 +103,69 @@ def test_payload_shape():
         "train", "modify", "trigger"
     }
     assert all("reason" in s and "action" in s for s in payload["steps"])
+
+
+# ----------------------------------------------------------------------
+# Degenerate captures (hand-modified program triples)
+# ----------------------------------------------------------------------
+
+class TestDegenerateCaptures:
+    """derive_combo on program sets outside the six variants' shapes."""
+
+    @staticmethod
+    def _captures(variant):
+        from repro.analysis.capture import capture_variant as capture
+
+        return (
+            capture(variant, TW, mapped=True),
+            capture(variant, TW, mapped=False),
+        )
+
+    def test_empty_modify_derives_none_action(self):
+        from repro.analysis.classify import derive_combo
+
+        mapped, unmapped = self._captures(TrainHitAttack())
+        combo, steps = derive_combo(mapped, unmapped)
+        assert combo.modify.is_none
+        modify = next(s for s in steps if s.role == "modify")
+        assert modify.program is None
+
+    def test_double_train_is_ambiguous(self):
+        from repro.analysis.classify import derive_combo
+        from repro.errors import AnalysisError
+
+        mapped, unmapped = self._captures(TrainTestAttack())
+        for trial in (mapped, unmapped):
+            train = next(
+                captured for captured in trial.programs
+                if captured.program.pcs_tagged("train-load")
+            )
+            trial.programs.append(train)
+        with pytest.raises(AnalysisError, match="ambiguous step"):
+            derive_combo(mapped, unmapped)
+
+    def test_trigger_before_train_is_order_independent(self):
+        from repro.analysis.classify import derive_combo
+
+        mapped, unmapped = self._captures(TrainTestAttack())
+        base_combo, _ = derive_combo(mapped, unmapped)
+        # Steps are keyed by load tag, not submission order: a capture
+        # whose trigger program precedes its trainer derives the same
+        # combo.
+        for trial in (mapped, unmapped):
+            trial.programs.reverse()
+        reordered_combo, _ = derive_combo(mapped, unmapped)
+        assert reordered_combo == base_combo
+
+    def test_missing_train_step_raises(self):
+        from repro.analysis.classify import derive_combo
+        from repro.errors import AnalysisError
+
+        mapped, unmapped = self._captures(TrainTestAttack())
+        for trial in (mapped, unmapped):
+            trial.programs[:] = [
+                captured for captured in trial.programs
+                if not captured.program.pcs_tagged("train-load")
+            ]
+        with pytest.raises(AnalysisError, match="no train step"):
+            derive_combo(mapped, unmapped)

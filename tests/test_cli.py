@@ -258,3 +258,45 @@ class TestSequentialFlags:
         assert all(
             "sequential" in record for record in fig5["panels"].values()
         )
+
+
+class TestHuntCli:
+    def test_hunt_static(self, tmp_path, capsys):
+        code = main(["hunt", "--static", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "576 combos" in out
+        assert "CERTIFIED" in out
+        assert (tmp_path / "hunt_certificate.json").exists()
+        assert not (tmp_path / "hunt_dynamic.json").exists()
+
+    def test_report_hunt_renders_certificate(self, tmp_path, capsys):
+        assert main(["hunt", "--static", "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["report", "--dir", str(tmp_path), "--hunt"]) == 0
+        out = capsys.readouterr().out
+        assert "CERTIFIED" in out
+        assert "Fill Up" in out
+
+    def test_report_hunt_without_certificate_fails(self, tmp_path, capsys):
+        assert main(["report", "--dir", str(tmp_path), "--hunt"]) == 1
+        assert "hunt_certificate.json" in capsys.readouterr().err
+
+    def test_hunt_json_output(self, tmp_path, capsys):
+        import json
+
+        code = main(["hunt", "--static", "--out", str(tmp_path), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["certificate"]["certified"] is True
+        assert payload["dynamic"] is None
+
+    def test_attack_strict_preflight_flag(self, capsys):
+        code = main([
+            "attack", "--variant", "Train + Test", "--runs", "10",
+            "--channel", "persistent", "--defense", "D",
+            "--strict-preflight",
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "static analysis predicts effective" in err

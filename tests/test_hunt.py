@@ -1,0 +1,242 @@
+"""The exhaustive attack-space hunt: certificate, round-trips, dynamics."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.enumerate import (
+    build_certificate,
+    canonical_combo,
+    dynamic_targets,
+    follow_reduction,
+    hunt_records,
+    parse_combo,
+)
+from repro.core.actions import (
+    MODIFY_ACTIONS,
+    TRAIN_ACTIONS,
+    TRIGGER_ACTIONS,
+    Action,
+)
+from repro.core.model import (
+    Verdict,
+    all_combos,
+    classify,
+    table_ii_combos,
+)
+
+
+@pytest.fixture(scope="module")
+def records():
+    return hunt_records(confidence=4)
+
+
+@pytest.fixture(scope="module")
+def certificate(records):
+    return build_certificate(records, confidence=4)
+
+
+# ----------------------------------------------------------------------
+# Symbol round-trips over the full alphabet and product (satellite)
+# ----------------------------------------------------------------------
+
+class TestSymbolRoundtrip:
+    @pytest.mark.parametrize(
+        "action", MODIFY_ACTIONS, ids=lambda a: a.symbol
+    )
+    def test_action_parse_inverts_symbol(self, action):
+        assert Action.parse(action.symbol) == action
+
+    def test_alphabet_sizes_match_table_i(self):
+        assert len(TRAIN_ACTIONS) == 8
+        assert len(MODIFY_ACTIONS) == 9
+        assert len(TRIGGER_ACTIONS) == 8
+        assert len(all_combos()) == 8 * 9 * 8
+
+    def test_combo_parse_inverts_symbol_for_all_576(self):
+        for combo in all_combos():
+            parsed = parse_combo(combo.symbol)
+            assert parsed == combo, combo.symbol
+
+    def test_action_symbols_are_distinct(self):
+        symbols = [action.symbol for action in MODIFY_ACTIONS]
+        assert len(set(symbols)) == len(symbols)
+
+
+# ----------------------------------------------------------------------
+# The certificate
+# ----------------------------------------------------------------------
+
+class TestCertificate:
+    def test_certified(self, certificate):
+        assert certificate["certified"] is True
+        assert all(
+            claim["ok"] for claim in certificate["claims"].values()
+        )
+
+    def test_verdicts_partition_the_space(self, certificate):
+        verdicts = certificate["verdicts"]
+        assert verdicts["effective"] == 12
+        assert sum(verdicts.values()) == 576
+        assert certificate["space"]["combos"] == 576
+
+    def test_effective_classes_are_table_ii(self, certificate):
+        representatives = {cls["symbol"] for cls in certificate["classes"]}
+        expected = {combo.symbol for combo, _ in table_ii_combos()}
+        assert representatives == expected
+        assert len(certificate["classes"]) == 12
+
+    def test_class_members_cover_all_leaking_combos(self, certificate):
+        members = [
+            symbol
+            for cls in certificate["classes"]
+            for symbol in cls["member_symbols"]
+        ]
+        # Disjoint cover: no combo reduces into two classes.
+        assert len(members) == len(set(members))
+        assert len(members) + certificate["invalid_members"] == 576
+
+    def test_byte_identical_across_runs(self, tmp_path):
+        from repro.harness.hunt import CERTIFICATE_FILENAME, write_certificate
+
+        write_certificate(str(tmp_path / "a"))
+        write_certificate(str(tmp_path / "b"))
+        first = (tmp_path / "a" / CERTIFICATE_FILENAME).read_bytes()
+        second = (tmp_path / "b" / CERTIFICATE_FILENAME).read_bytes()
+        assert first == second
+
+    def test_payload_is_json_serializable(self, certificate):
+        encoded = json.dumps(certificate, sort_keys=True)
+        assert json.loads(encoded) == certificate
+
+
+# ----------------------------------------------------------------------
+# Static trials and reduction chains
+# ----------------------------------------------------------------------
+
+class TestStaticHunt:
+    def test_every_table_ii_variant_leaks_statically(self, records):
+        by_symbol = {record.combo.symbol: record for record in records}
+        for combo, category in table_ii_combos():
+            record = by_symbol[combo.symbol]
+            assert record.timing_leak, combo.symbol
+            assert record.model.verdict is Verdict.EFFECTIVE
+            assert record.terminal.category is category
+
+    def test_invalid_combos_are_statically_silent(self, records):
+        for record in records:
+            if record.chain[-1] == record.combo.symbol and (
+                record.model.verdict is Verdict.INVALID
+            ):
+                assert not record.timing_leak, record.combo.symbol
+
+    def test_reduction_chains_terminate(self, records):
+        for record in records:
+            terminal, chain = follow_reduction(record.combo)
+            assert terminal.verdict in (Verdict.EFFECTIVE, Verdict.INVALID)
+            assert chain == record.chain
+            assert chain[0] == record.combo.symbol
+
+    def test_static_trial_roundtrips_canonical_combo(self, records):
+        # Spot-check: the classifier re-derives the combo from its own
+        # synthesized programs for every effective record.
+        for record in records:
+            if record.model.verdict is Verdict.EFFECTIVE:
+                assert record.roundtrip_ok, record.combo.symbol
+
+    def test_canonical_combo_is_idempotent(self):
+        for combo in all_combos()[:50]:
+            canonical = canonical_combo(combo)
+            assert canonical_combo(canonical) == canonical
+
+    def test_silent_flavour_wipe_combo(self):
+        # A flavours-question combo whose known modify wipes training
+        # under both hypotheses: admissibility rules it out.
+        from repro.analysis.enumerate import hunt_combo
+
+        combo = parse_combo("(S^SD', S^KD, S^SD'')")
+        verdict = hunt_combo(combo)
+        assert not verdict.timing_leak
+        assert classify(combo).verdict is not Verdict.EFFECTIVE
+
+
+# ----------------------------------------------------------------------
+# Dynamic confirmation
+# ----------------------------------------------------------------------
+
+class TestDynamicConfirmation:
+    def test_targets_are_the_twelve_survivors(self, records):
+        targets = dynamic_targets(records)
+        assert len(targets) == 12
+        assert {t.combo.symbol for t in targets} == {
+            combo.symbol for combo, _ in table_ii_combos()
+        }
+
+    def test_confirm_dynamic_smoke(self, records, tmp_path):
+        from repro.harness.hunt import DYNAMIC_FILENAME, confirm_dynamic
+
+        # Two survivors, one data- and one index-dimension, through the
+        # real measurement path with early stopping.
+        wanted = {"(S^SD', —, S^KD)", "(R^KI, S^SI', R^KI)"}
+        subset = [r for r in records if r.combo.symbol in wanted]
+        payload = confirm_dynamic(
+            subset, str(tmp_path), n_runs=24, seed=3, resume=False
+        )
+        assert payload["all_agree"] is True
+        assert payload["targets"] == 2
+        for row in payload["rows"]:
+            assert row["dynamic_effective"] is True
+            assert row["agree"] is True
+            assert row["pvalue"] < 0.05
+        assert os.path.isfile(tmp_path / DYNAMIC_FILENAME)
+
+    def test_run_hunt_static_only(self, tmp_path):
+        from repro.harness.hunt import CERTIFICATE_FILENAME, run_hunt
+
+        out = run_hunt(str(tmp_path), static_only=True)
+        assert out["certificate"]["certified"] is True
+        assert out["dynamic"] is None
+        assert os.path.isfile(tmp_path / CERTIFICATE_FILENAME)
+
+
+# ----------------------------------------------------------------------
+# ComboAttack: the dynamic realisation
+# ----------------------------------------------------------------------
+
+class TestComboAttack:
+    def test_matches_handwritten_variant_verdict(self):
+        from repro.core.attack import AttackConfig, AttackRunner
+        from repro.workloads.combos import ComboAttack
+        from repro.core.model import AttackCategory
+
+        combo = parse_combo("(S^SD', —, S^KD)")
+        variant = ComboAttack(combo, category=AttackCategory.TEST_HIT)
+        result = AttackRunner(
+            variant, AttackConfig(n_runs=30, seed=5)
+        ).run_experiment()
+        assert result.attack_succeeds
+
+    def test_silent_combo_does_not_leak(self):
+        from repro.core.attack import AttackConfig, AttackRunner
+        from repro.core.model import AttackCategory
+        from repro.workloads.combos import ComboAttack
+
+        # Rule-9 invalid: both steps known, nothing secret to leak.
+        combo = parse_combo("(S^KD, —, S^KD)")
+        variant = ComboAttack(combo, category=AttackCategory.TRAIN_TEST)
+        result = AttackRunner(
+            variant, AttackConfig(n_runs=30, seed=5)
+        ).run_experiment()
+        assert not result.attack_succeeds
+
+    def test_trigger_pcs_cover_both_hypotheses(self):
+        from repro.core.model import AttackCategory
+        from repro.workloads.combos import ComboAttack
+        from repro.workloads.gadgets import Layout
+
+        index_combo = parse_combo("(R^KI, S^SI', R^KI)")
+        variant = ComboAttack(
+            index_combo, category=AttackCategory.TRAIN_TEST
+        )
+        assert len(variant.trigger_pcs(Layout())) >= 1
