@@ -1,0 +1,100 @@
+"""Batched lockstep backend: the Table III sweep, both backends.
+
+The sweep-level companion to ``bench_sim_throughput``'s single-cell
+trials/s number: runs the exact 18-cell Table III sweep under the
+scalar reference backend and the numpy lockstep backend
+(:mod:`repro.sim`), asserts every checkpointed cell payload is
+byte-identical, and records the comparison as the ``bench_backend``
+entry of ``BENCH_sweep.json``.
+
+One-shot comparative timing, ``slow``-marked like the other sweep
+benches so the quick CI pass stays quick.
+"""
+
+import pytest
+
+pytestmark = pytest.mark.slow  # full regeneration; excluded from the quick CI pass
+
+import dataclasses
+import tempfile
+from pathlib import Path
+
+from benchmarks.conftest import run_once
+
+_N_RUNS = 8
+
+
+def _sweep_pass(backend):
+    """Run the Table III sweep serially; returns (stats, payloads)."""
+    from repro._version import __version__
+    from repro.harness.checkpoint import CheckpointStore
+    from repro.harness.parallel import run_cells, sweep_specs
+    from repro.harness.runner import ExecutionPolicy
+
+    specs = sweep_specs(["table3"], n_runs=_N_RUNS, seed=0)
+    policy = dataclasses.replace(ExecutionPolicy.compat(), backend=backend)
+    with tempfile.TemporaryDirectory() as scratch:
+        store = CheckpointStore.open(
+            str(Path(scratch) / "checkpoint"),
+            {"version": __version__, "n_runs": _N_RUNS, "seed": 0},
+            resume=False,
+        )
+        stats = run_cells(specs, store, policy, workers=1)
+        payloads = {spec.cell_id: store.load(spec.cell_id) for spec in specs}
+    return stats, payloads
+
+
+def test_backend_sweep_identity_and_speedup(benchmark):
+    """18-cell sweep: batched byte-identical to scalar, and faster."""
+    from repro.perf.counters import COUNTERS, PerfCounters
+    from repro.perf.observe import write_sweep_trajectory
+    from repro.sim import clear_fallback_journal, fallback_journal
+
+    pytest.importorskip("numpy")
+
+    _sweep_pass("batched")  # warm-up: gadget/trace caches + numpy import
+
+    scalar_stats, scalar_payloads = _sweep_pass("scalar")
+    clear_fallback_journal()
+    before = COUNTERS.snapshot()
+    batched_stats, batched_payloads = run_once(
+        benchmark, _sweep_pass, "batched"
+    )
+    delta = PerfCounters.delta(before, COUNTERS.snapshot())
+
+    assert batched_payloads == scalar_payloads, (
+        "batched sweep diverged from the scalar reference"
+    )
+
+    vector = delta.get("batched_vector_trials", 0)
+    fallback = delta.get("batched_fallback_trials", 0)
+    covered = vector + fallback
+    speedup = (
+        scalar_stats.elapsed_s / batched_stats.elapsed_s
+        if batched_stats.elapsed_s > 0 else 0.0
+    )
+    print(f"\nTable III sweep ({len(batched_payloads)} cells, "
+          f"n_runs={_N_RUNS}): scalar {scalar_stats.elapsed_s:.3f} s, "
+          f"batched {batched_stats.elapsed_s:.3f} s, {speedup:.2f}x; "
+          f"{vector} vectorized / {fallback} fallback trials")
+    for cell, reason in fallback_journal():
+        print(f"  fallback: {cell}: {reason}")
+
+    write_sweep_trajectory("bench_backend", {
+        "cells": len(batched_payloads),
+        "n_runs": _N_RUNS,
+        "wall_clock_s": batched_stats.elapsed_s,
+        "cells_per_s": batched_stats.cells_per_s,
+        "trials_simulated": delta.get("trials", 0),
+        "scalar_wall_clock_s": scalar_stats.elapsed_s,
+        "speedup_vs_scalar": speedup,
+        "vector_trials": vector,
+        "fallback_trials": fallback,
+        "vectorized_fraction": vector / covered if covered else 0.0,
+        "byte_identical": True,
+    }, backend="batched")
+
+    assert vector > 0, "no trial ran vectorized across the whole sweep"
+    assert speedup > 1.0, (
+        f"batched sweep slower than scalar: {speedup:.2f}x"
+    )

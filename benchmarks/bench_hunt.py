@@ -49,7 +49,8 @@ def test_hunt_static_certification(benchmark, tmp_path):
           f"{watch.elapsed:.3f} s ({combos_per_s:.0f} combos/s), "
           f"artifact byte-identical across passes")
 
-    write_sweep_trajectory("hunt_static", {
+    # trials=0: static certification inspects the space, simulates none.
+    write_sweep_trajectory("hunt_static", trials=0, payload={
         "cells": combos,
         "combos": combos,
         "wall_clock_s": watch.elapsed,

@@ -177,7 +177,9 @@ def test_sequential_single_cell_speedup(benchmark):
           f"{seq['sequential_s']:.3f}s, {seq['speedup']:.2f}x; "
           f"effective n {seq['effective_n']}/{seq['n_runs']} after "
           f"{seq['looks']} look(s)")
-    write_sweep_trajectory("bench_sequential_cell", seq)
+    write_sweep_trajectory(
+        "bench_sequential_cell", seq, trials=2 * seq["effective_n"],
+    )
     assert seq["verdict_identical"]
     assert seq["stopped_early"], (
         "the canonical Train + Test cell should be decisive at n=60"

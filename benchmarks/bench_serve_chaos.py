@@ -173,7 +173,8 @@ def test_serve_chaos_table3_byte_identical(benchmark, tmp_path):
           f"{delta.get('serve_cache_journal_hits', 0)} journal), mean "
           f"queue wait {stats['serve_mean_queue_wait_ms']:.1f} ms")
 
-    write_sweep_trajectory("serve_chaos", {
+    write_sweep_trajectory(
+        "serve_chaos", trials=delta.get("trials", 0), payload={
         "wall_clock_s": stats["uptime_s"],
         "cells": len(specs),
         "cells_per_s": len(specs) / max(stats["uptime_s"], 1e-9),

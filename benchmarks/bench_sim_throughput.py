@@ -134,6 +134,78 @@ def test_warm_batching_speedup():
     )
 
 
+def test_batched_backend_trials_per_s():
+    """Batched lockstep backend: >= 10x trials/s on a Table III cell.
+
+    One-shot comparative timing of the same cell under the scalar
+    reference backend and the numpy lockstep backend (``repro.sim``).
+    The batched pass must be fully vectorized (no scalar fallbacks) and
+    byte-identical in verdict; the trials/s ratio is the tentpole
+    number of ISSUE 8 and lands in both BENCH snapshots.
+    """
+    pytest.importorskip("numpy")
+    from repro.harness.experiment import run_cell
+    from repro.harness.parallel import _variant_by_name
+    from repro.core.channels import ChannelType
+    from repro.perf.counters import COUNTERS, PerfCounters
+    from repro.perf.observe import (
+        Stopwatch, write_bench_snapshot, write_sweep_trajectory,
+    )
+
+    variant = _variant_by_name("Train + Hit")
+    n_runs = 64
+    trials = 2 * n_runs
+
+    def one(backend):
+        return run_cell(
+            variant, ChannelType.TIMING_WINDOW, "lvp",
+            n_runs=n_runs, seed=0, backend=backend,
+        )
+
+    one("batched")  # warm-up: gadget/trace caches + numpy import
+    timings = {}
+    pvalues = {}
+    before = COUNTERS.snapshot()
+    for backend in ("scalar", "batched"):
+        watch = Stopwatch()
+        with watch:
+            result = one(backend)
+        timings[backend] = watch.elapsed
+        pvalues[backend] = float(result.pvalue)
+    delta = PerfCounters.delta(before, COUNTERS.snapshot())
+
+    assert pvalues["scalar"] == pvalues["batched"]
+    assert delta.get("batched_fallback_trials", 0) == 0, (
+        "the flagship cell should run fully vectorized"
+    )
+    scalar_tps = trials / timings["scalar"] if timings["scalar"] else 0.0
+    batched_tps = trials / timings["batched"] if timings["batched"] else 0.0
+    speedup = batched_tps / scalar_tps if scalar_tps else 0.0
+    print(f"\nTrain + Hit / timing-window (n_runs={n_runs}): "
+          f"scalar {scalar_tps:.0f} trials/s, batched "
+          f"{batched_tps:.0f} trials/s, {speedup:.1f}x")
+
+    record = {
+        "cell": "Train + Hit / timing-window / lvp",
+        "n_runs": n_runs,
+        "wall_clock_s": timings["batched"],
+        "cells": 1,
+        "cells_per_s": (
+            1.0 / timings["batched"] if timings["batched"] else 0.0
+        ),
+        "trials_simulated": trials,
+        "scalar_trials_per_s": scalar_tps,
+        "trials_per_s": batched_tps,
+        "speedup_vs_scalar": speedup,
+        "verdict_identical": True,
+    }
+    write_bench_snapshot(_SNAPSHOT, "bench_backend_cell", record)
+    write_sweep_trajectory("bench_backend_cell", record, backend="batched")
+    assert speedup >= 10.0, (
+        f"batched backend below the 10x target: {speedup:.2f}x"
+    )
+
+
 def test_parallel_sweep_speedup():
     """Table III sweep at 4 workers vs serial, byte-identical results.
 

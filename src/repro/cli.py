@@ -131,6 +131,18 @@ def _add_sequential_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    from repro.sim import BACKEND_NAMES
+
+    parser.add_argument(
+        "--backend", default=None, choices=list(BACKEND_NAMES),
+        help="simulation backend for the trial loop: scalar (the "
+             "reference interpreter, default) or batched (numpy "
+             "lockstep lanes, byte-identical results); default "
+             "follows $REPRO_BACKEND",
+    )
+
+
 def _cmd_table1(args: argparse.Namespace) -> None:
     print(render_table1())
 
@@ -166,6 +178,8 @@ def _cmd_attack(args: argparse.Namespace) -> None:
             policy = dataclasses.replace(policy, sequential=seq_policy)
         if args.strict_preflight:
             policy = dataclasses.replace(policy, strict_preflight=True)
+        if args.backend is not None:
+            policy = dataclasses.replace(policy, backend=args.backend)
         executor = ResilientExecutor(
             policy,
             injector=(
@@ -209,6 +223,7 @@ def _cmd_attack(args: argparse.Namespace) -> None:
             modify_mode=args.modify_mode,
             snapshot_trials=args.snapshot_trials,
             audit_snapshots=args.audit_snapshots,
+            backend=args.backend,
         )
         result = AttackRunner(variant, config).run_experiment()
     print(result.describe())
@@ -270,6 +285,7 @@ def _cmd_all(args: argparse.Namespace) -> None:
         audit_snapshots=args.audit_snapshots,
         sequential=_sequential_policy(args),
         strict_preflight=args.strict_preflight,
+        backend=args.backend,
     )
     for name, path in sorted(written.items()):
         print(f"{name}: {path}")
@@ -318,6 +334,7 @@ def _cmd_perf(args: argparse.Namespace) -> None:
         seed=args.seed,
         workers=args.workers,
         artifacts=artifacts,
+        backend=args.backend,
         snapshot_path=(
             None if args.no_snapshot else (args.snapshot or DEFAULT_SNAPSHOT)
         ),
@@ -339,6 +356,15 @@ def _cmd_serve(args: argparse.Namespace) -> None:
     from repro.harness.parallel import _resolve_profile
     from repro.serve.daemon import ReproDaemon, ServePolicy
 
+    if args.backend is not None:
+        # Worker processes resolve the backend from the environment
+        # (repro.sim.BACKEND_ENV), so exporting it here threads the
+        # selection through the pool without touching job specs —
+        # results are byte-identical either way by the backend
+        # contract, this only picks the execution strategy.
+        from repro.sim import BACKEND_ENV
+
+        os.environ[BACKEND_ENV] = args.backend
     os.makedirs(args.root, exist_ok=True)
     policy = ServePolicy(
         workers=args.workers,
@@ -665,6 +691,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="treat any static/dynamic verdict disagreement as a hard "
              "AnalysisSoundnessError instead of a journaled note",
     )
+    _add_backend_flag(attack)
     _add_sequential_flags(attack)
     attack.set_defaults(func=_cmd_attack)
 
@@ -819,6 +846,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="treat any static/dynamic verdict disagreement as a hard "
              "AnalysisSoundnessError instead of a journaled note",
     )
+    _add_backend_flag(everything)
     _add_sequential_flags(everything)
     everything.set_defaults(func=_cmd_all)
 
@@ -848,6 +876,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="do not write a benchmark snapshot")
     perf.add_argument("--json", action="store_true",
                       help="emit the full report as JSON")
+    _add_backend_flag(perf)
     perf.set_defaults(func=_cmd_perf)
 
     serve = sub.add_parser(
@@ -881,6 +910,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="chaos testing: inject faults, e.g. "
                             "worker-kill, worker-hang, process-chaos")
     serve.add_argument("--fault-seed", type=int, default=0)
+    _add_backend_flag(serve)
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser(

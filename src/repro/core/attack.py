@@ -63,6 +63,7 @@ from repro.memory.memsys import DramConfig
 from repro.perf.counters import COUNTERS
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.core import Core
+from repro.sim import get_backend, resolve_backend_name
 from repro.snapshot import MachineSnapshot, restore_machine, snapshot_machine
 from repro.stats.distributions import TimingDistribution
 from repro.stats.summary import DistributionComparison
@@ -76,6 +77,7 @@ from repro.workloads.gadgets import Layout
 
 if TYPE_CHECKING:
     from repro.core.variants import AttackVariant
+    from repro.sim import SimBackend
 
 
 def attack_dram_config() -> DramConfig:
@@ -161,6 +163,12 @@ class AttackConfig:
             simulated cycle count match exactly.  Costs more than it
             saves; for CI/equivalence checking.  Requires
             ``snapshot_trials``.
+        backend: Simulation backend executing the trial loop
+            (:mod:`repro.sim`): ``"scalar"`` (the historical
+            interpreter loop), ``"batched"`` (numpy lockstep lanes,
+            byte-identical results), or ``None`` to follow
+            ``$REPRO_BACKEND`` and default to scalar.  Validated at
+            runner construction so typos fail before any simulation.
     """
 
     confidence: int = 4
@@ -182,6 +190,7 @@ class AttackConfig:
     memory_config: Optional[MemoryConfig] = None
     core_config: Optional[CoreConfig] = None
     layout: Layout = field(default_factory=Layout)
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.confidence < 1:
@@ -288,6 +297,11 @@ class AttackRunner:
         # Latched when the installed predictor chain turns out not to
         # implement the snapshot protocol (custom predictors).
         self._fork_disabled = False
+        # The trial-loop executor (repro.sim): resolved eagerly so an
+        # unknown name or unavailable backend fails here, not mid-sweep.
+        self.backend: "SimBackend" = get_backend(
+            resolve_backend_name(self.config.backend)
+        )
 
     # ------------------------------------------------------------------
     def _fresh_predictor(self) -> ValuePredictor:
@@ -587,9 +601,10 @@ class IncrementalExperiment:
                 f"cannot rewind a streaming experiment: at "
                 f"{self._trials_done} trials, asked for {target_n}"
             )
-        for index in range(self._trials_done, target_n):
-            mapped_trial = self.runner.run_trial(True, index)
-            unmapped_trial = self.runner.run_trial(False, index)
+        pairs = self.runner.backend.run_pairs(
+            self.runner, self._trials_done, target_n
+        )
+        for mapped_trial, unmapped_trial in pairs:
             self._mapped.add(mapped_trial.measurement)
             self._unmapped.add(unmapped_trial.measurement)
             self._total_cycles += (

@@ -52,6 +52,20 @@ class AttackError(ReproError):
     """Raised for invalid attack specifications."""
 
 
+class SimBackendError(ReproError):
+    """Raised for unknown or misconfigured simulation backends."""
+
+
+class BackendUnavailableError(SimBackendError):
+    """Raised when a backend's optional dependency is not installed.
+
+    The batched backend needs numpy (the ``repro[batch]`` extra); the
+    scalar backend is always available, so selecting an unavailable
+    backend is a configuration error with an actionable message, never
+    a silent fallback.
+    """
+
+
 class AnalysisError(ReproError):
     """Raised when static analysis finds a contradiction in a program.
 

@@ -162,6 +162,7 @@ def run_all(
     audit_snapshots: bool = False,
     sequential: Optional[SequentialPolicy] = None,
     strict_preflight: bool = False,
+    backend: Optional[str] = None,
 ) -> Dict[str, str]:
     """Regenerate and persist the selected artifacts, resumably.
 
@@ -216,6 +217,13 @@ def run_all(
             there instead).  Not recorded in checkpoint metadata: it
             changes no journaled bytes, only whether a disagreement
             aborts the run.
+        backend: Simulation backend for every attack cell's trial loop
+            (:mod:`repro.sim`); ignored when ``policy`` is given (set
+            :attr:`~repro.harness.runner.ExecutionPolicy.backend` there
+            instead).  Deliberately *not* recorded in checkpoint
+            metadata: backends are byte-identical by contract, so
+            resuming a scalar checkpoint under ``batched`` (or vice
+            versa) is sound and replays the same records.
 
     Returns:
         Mapping from artifact name to the path of its rendering.
@@ -267,6 +275,7 @@ def run_all(
             adaptive=AdaptivePolicy(),
             sequential=sequential,
             strict_preflight=strict_preflight,
+            backend=backend,
         )
         executor = ResilientExecutor(
             effective_policy,

@@ -281,6 +281,10 @@ class ExecutionPolicy:
     adaptive: Optional[AdaptivePolicy] = None
     sequential: Optional[SequentialPolicy] = None
     max_trial_cycles: Optional[int] = None
+    #: Simulation backend for every cell's trial loop (repro.sim);
+    #: ``None`` follows ``$REPRO_BACKEND`` and defaults to scalar.
+    #: Explicit per-cell ``backend`` overrides still win.
+    backend: Optional[str] = None
     cell_cycle_budget: Optional[float] = None
     fail_fast: bool = False
     preflight: bool = True
@@ -777,6 +781,8 @@ class ResilientExecutor:
                 kwargs.setdefault(
                     "max_trial_cycles", self.policy.max_trial_cycles
                 )
+            if self.policy.backend is not None:
+                kwargs.setdefault("backend", self.policy.backend)
             predictor_arg: object = predictor
             if injector is not None:
                 if injector.profile.perturbs_dram:

@@ -27,6 +27,7 @@ and ``--profile`` dumps a cProfile of the serial pass for drill-down.
 from __future__ import annotations
 
 import cProfile
+import dataclasses
 import shutil
 import tempfile
 from pathlib import Path
@@ -69,6 +70,9 @@ def measure_warm_batching(
     program/trace caches and the comparison isolates machine
     construction cost.  Also asserts the two modes agree, turning every
     ``repro perf`` invocation into a cheap determinism spot-check.
+    Pinned to the scalar backend: the warm-machine reset protocol is a
+    scalar-loop mechanism (the batched backend builds lockstep
+    machines per chunk instead).
     """
     from repro.harness.experiment import run_cell
 
@@ -78,6 +82,7 @@ def measure_warm_batching(
         return run_cell(
             variant, _WARM_CHANNEL, _WARM_PREDICTOR,
             n_runs=n_runs, seed=seed, batch_trials=batch,
+            backend="scalar",
         )
 
     one(True)  # warm-up: populate gadget/trace caches
@@ -106,6 +111,84 @@ def measure_warm_batching(
     }
 
 
+def measure_backend(
+    n_runs: int = 40, seed: int = 0, backend: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Trial-loop backend section: throughput plus lane accounting.
+
+    Times the representative cell under the scalar reference backend
+    and under the selected backend (``repro.sim``), asserts the two
+    verdicts agree, and reports the lockstep lane counters from
+    :mod:`repro.perf.counters` — mean lane width, lanes retired vs
+    squashed, vectorized vs scalar-fallback trial counts, and
+    nanoseconds per simulated cycle per lane — so a regression in the
+    lane mask logic shows up here without reaching for a profiler.
+    """
+    from repro.harness.experiment import run_cell
+    from repro.perf.counters import COUNTERS, PerfCounters
+    from repro.sim import BackendUnavailableError, resolve_backend_name
+
+    name = resolve_backend_name(backend)
+    variant = _variant_by_name(_WARM_VARIANT)
+    cell = f"{_WARM_VARIANT} / {_WARM_CHANNEL.value} / {_WARM_PREDICTOR}"
+
+    def one(backend_name: str):
+        return run_cell(
+            variant, _WARM_CHANNEL, _WARM_PREDICTOR,
+            n_runs=n_runs, seed=seed, backend=backend_name,
+        )
+
+    try:
+        one(name)  # warm-up: gadget/trace caches + the numpy import
+    except BackendUnavailableError as exc:
+        return {
+            "backend": name, "cell": cell, "n_runs": n_runs,
+            "available": False, "error": str(exc),
+        }
+    watch = Stopwatch()
+    with watch:
+        reference = one("scalar")
+    scalar_s = watch.elapsed
+    before = COUNTERS.snapshot()
+    watch = Stopwatch()
+    with watch:
+        result = one(name)
+    backend_s = watch.elapsed
+    delta = PerfCounters.delta(before, COUNTERS.snapshot())
+    if float(result.pvalue) != float(reference.pvalue):
+        raise AssertionError(
+            f"backend {name!r} diverged from scalar: "
+            f"{result.pvalue} != {reference.pvalue}"
+        )
+    chunks = delta.get("batched_chunks", 0)
+    vector_trials = delta.get("batched_vector_trials", 0)
+    fallback_trials = delta.get("batched_fallback_trials", 0)
+    lane_cycles = delta.get("batched_lane_cycles", 0)
+    covered = vector_trials + fallback_trials
+    return {
+        "backend": name,
+        "cell": cell,
+        "n_runs": n_runs,
+        "available": True,
+        "scalar_s": scalar_s,
+        "backend_s": backend_s,
+        "speedup": scalar_s / backend_s if backend_s > 0 else 0.0,
+        "identical": True,
+        "trials": delta.get("trials", 0),
+        "mean_lane_width": (
+            vector_trials / (2.0 * chunks) if chunks else 0.0
+        ),
+        "lanes_retired": delta.get("batched_lanes_retired", 0),
+        "lanes_squashed": delta.get("batched_lanes_squashed", 0),
+        "vector_trials": vector_trials,
+        "fallback_trials": fallback_trials,
+        "vectorized_fraction": vector_trials / covered if covered else 0.0,
+        "ns_per_cycle_per_lane": (
+            backend_s * 1e9 / lane_cycles if lane_cycles else 0.0
+        ),
+    }
+
+
 def measure_snapshot_fork(
     n_runs: int = 40, seed: int = 0, audit_runs: int = 8,
 ) -> Dict[str, Any]:
@@ -115,7 +198,10 @@ def measure_snapshot_fork(
     forking trials from the memoized post-prologue capture
     (:mod:`repro.snapshot`).  A short audited pass afterwards replays
     every fork cold and raises on any divergence, so the number comes
-    with a per-invocation equivalence check.
+    with a per-invocation equivalence check.  Pinned to the scalar
+    backend: the snapshot/fork engine is a scalar-loop mechanism (the
+    batched backend forks lanes from one prologue in-lockstep and
+    never touches the fork counters this section reports).
     """
     from repro.harness.experiment import run_cell
     from repro.perf.counters import COUNTERS, PerfCounters
@@ -125,7 +211,7 @@ def measure_snapshot_fork(
     def one(**overrides):
         return run_cell(
             variant, _WARM_CHANNEL, _WARM_PREDICTOR,
-            n_runs=n_runs, seed=seed, **overrides,
+            n_runs=n_runs, seed=seed, backend="scalar", **overrides,
         )
 
     one(snapshot_trials=True)  # warm-up: populate gadget/trace caches
@@ -327,6 +413,7 @@ def _sweep_pass(
     specs: Sequence[CellSpec],
     workers: int,
     profiler: Optional[cProfile.Profile] = None,
+    backend: Optional[str] = None,
 ) -> SweepStats:
     """One full prefill pass against a throwaway checkpoint store."""
     scratch = tempfile.mkdtemp(prefix="repro-perf-")
@@ -335,12 +422,13 @@ def _sweep_pass(
             str(Path(scratch) / "checkpoint"),
             {"version": __version__, "perf": True}, resume=False,
         )
+        policy = dataclasses.replace(
+            ExecutionPolicy.compat(), backend=backend
+        )
         if profiler is not None:
             profiler.enable()
         try:
-            return run_cells(
-                specs, store, ExecutionPolicy.compat(), workers=workers
-            )
+            return run_cells(specs, store, policy, workers=workers)
         finally:
             if profiler is not None:
                 profiler.disable()
@@ -357,8 +445,13 @@ def perf_baseline(
     snapshot_path: Optional[str] = DEFAULT_SNAPSHOT,
     profile_path: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Measure the sweep engine's throughput baseline.
+
+    ``backend`` selects the trial-loop backend (:mod:`repro.sim`) for
+    the sweep passes and the backend section; ``None`` follows
+    ``$REPRO_BACKEND`` and defaults to scalar.
 
     Returns the report dict; when ``snapshot_path`` is set, also merges
     it under the ``"repro_perf"`` section of that benchmark JSON.
@@ -368,6 +461,11 @@ def perf_baseline(
 
     say("warm batching: 1 cell, batch_trials on/off ...")
     warm = measure_warm_batching(n_runs=max(n_runs, 20), seed=seed)
+
+    say("backend: 1 cell, scalar vs selected trial-loop backend ...")
+    backend_section = measure_backend(
+        n_runs=max(n_runs, 20), seed=seed, backend=backend,
+    )
 
     say("snapshot fork: 1 cell, snapshot_trials on/off + audit ...")
     snapshot_fork = measure_snapshot_fork(n_runs=max(n_runs, 20), seed=seed)
@@ -383,17 +481,17 @@ def perf_baseline(
         # the serial time and with it the reported parallel speedup.
         say(f"profiled sweep: {len(specs)} cells ...")
         profiler = cProfile.Profile()
-        _sweep_pass(specs, workers=1, profiler=profiler)
+        _sweep_pass(specs, workers=1, profiler=profiler, backend=backend)
         profiler.dump_stats(profile_path)
         say(f"profile written to {profile_path}")
 
     say(f"serial sweep: {len(specs)} cells ...")
-    serial = _sweep_pass(specs, workers=1)
+    serial = _sweep_pass(specs, workers=1, backend=backend)
 
     parallel: Optional[SweepStats] = None
     if workers > 1:
         say(f"parallel sweep: {len(specs)} cells, {workers} workers ...")
-        parallel = _sweep_pass(specs, workers=workers)
+        parallel = _sweep_pass(specs, workers=workers, backend=backend)
 
     counters = serial.counters
     report: Dict[str, Any] = {
@@ -403,6 +501,7 @@ def perf_baseline(
         "artifacts": list(artifacts),
         "cells": len(specs),
         "warm_batching": warm,
+        "backend": backend_section,
         "snapshot_fork": snapshot_fork,
         "sequential": sequential,
         "serve": serve,
@@ -450,6 +549,33 @@ def render_perf_report(report: Dict[str, Any]) -> str:
         f"speedup {warm['speedup']:.2f}x"
         + ("   [results identical]" if warm["identical"] else "")
     )
+    backend = report.get("backend")
+    if backend is not None:
+        lines.append("")
+        lines.append(
+            f"trial-loop backend ({backend['backend']}, "
+            f"{backend['cell']}, n_runs={backend['n_runs']}):"
+        )
+        if not backend.get("available", True):
+            lines.append(f"  unavailable: {backend['error']}")
+        else:
+            lines.append(
+                f"  scalar        : {backend['scalar_s']:7.3f} s   "
+                f"{backend['backend']:10s}: {backend['backend_s']:7.3f} s   "
+                f"speedup {backend['speedup']:.2f}x"
+                + ("   [results identical]" if backend["identical"] else "")
+            )
+            lines.append(
+                f"  {backend['vector_trials']} vectorized / "
+                f"{backend['fallback_trials']} fallback trials "
+                f"({backend['vectorized_fraction'] * 100:.1f}% vectorized), "
+                f"mean lane width {backend['mean_lane_width']:.1f}"
+            )
+            lines.append(
+                f"  {backend['lanes_retired']} lanes retired, "
+                f"{backend['lanes_squashed']} squashed, "
+                f"{backend['ns_per_cycle_per_lane']:.2f} ns/cycle/lane"
+            )
     fork = report.get("snapshot_fork")
     if fork is not None:
         lines.append("")

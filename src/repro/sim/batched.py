@@ -1,0 +1,262 @@
+"""The batched backend: many trials of one cell in numpy lockstep.
+
+:class:`BatchedBackend` satisfies the :class:`~repro.sim.SimBackend`
+protocol by carving the requested trial range into chunks of up to
+:data:`CHUNK_LANES` lanes and running each hypothesis's chunk as one
+:class:`~repro.sim.lockstep.LockstepMachine` pass — the real Table II
+variant code drives a :class:`~repro.sim.lockstep.LaneCore` facade over
+a machine whose jitter draws, default memory values and cycle schedules
+are ``[lanes]`` vectors while caches, TLB and the value predictor stay
+the real, shared, scalar structures.
+
+Byte-identity with the scalar backend is a construction invariant, not
+an aspiration: a scalar trial is a pure function of its seed, the two
+protocols' seed schedules are replicated exactly (per-lane trial seeds
+for the default warm/cold protocol; a uniform prologue seed followed by
+per-lane ``reseed_jitter`` for the snapshot protocol), and anything the
+lockstep engine cannot prove schedule-exact and lane-uniform raises
+:class:`~repro.sim.lockstep.LaneDivergence`.  Divergence — or *any*
+failure of the vectorized attempt — falls the whole chunk back to the
+scalar backend's canonical interleaved loop, so a genuine error
+reproduces with authentic scalar semantics and a benign divergence
+costs only speed.  Every fallback is journaled
+(:func:`repro.sim.journal_fallback`) and counted
+(``COUNTERS.batched_fallback_trials``): "it ran, but not vectorized"
+is an observable fact, never a silent perf cliff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
+
+from repro.core.channels import ChannelType
+from repro.errors import BackendUnavailableError
+from repro.memory.hierarchy import MemoryConfig
+from repro.perf.counters import COUNTERS
+from repro.sim import journal_fallback
+from repro.sim.scalar import ScalarBackend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.attack import AttackRunner, TrialResult
+
+#: Lockstep lane width: wide enough to amortize the per-column Python
+#: overhead across lanes, small enough that a late-chunk divergence
+#: does not discard much vector work.
+CHUNK_LANES = 128
+
+#: Predictor spec strings with a lane-uniform shared-state form.  The
+#: oracle wrapper composes (it is a pure PC filter); vtage's
+#: history-hashed banks would need their own uniformity proof, and
+#: callables are opaque — both fall back.
+_VECTOR_PREDICTORS = ("lvp", "none")
+
+
+def _trial_seed(config: Any, mapped: bool, index: int) -> int:
+    """The scalar seed schedule (``AttackRunner.run_trial``), verbatim."""
+    return config.seed * 1_000_003 + index * 7919 + (1 if mapped else 0)
+
+
+class BatchedBackend:
+    """Lockstep-vectorized trial execution with journaled scalar fallback."""
+
+    name = "batched"
+
+    def __init__(self) -> None:
+        try:
+            import numpy  # noqa: F401  (availability probe)
+        except ImportError as exc:  # pragma: no cover - needs bare env
+            raise BackendUnavailableError(
+                "the batched backend needs numpy, which is not installed; "
+                "install the batch extra (pip install 'repro[batch]') or "
+                "numpy itself, or select --backend scalar"
+            ) from exc
+        from repro.sim import lockstep
+
+        self._lockstep = lockstep
+        self._scalar = ScalarBackend()
+        #: (cell, reason) tuples for every fallback this backend took;
+        #: the process-global journal gets the same records.
+        self.fallback_events: List[Tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    def run_pairs(
+        self, runner: "AttackRunner", start: int, stop: int
+    ) -> List[Tuple["TrialResult", "TrialResult"]]:
+        """Trials ``start .. stop-1``; chunks vectorize or fall back."""
+        if stop <= start:
+            return []
+        reason = self._static_fallback_reason(runner)
+        if reason is not None:
+            self._journal(runner, reason)
+            COUNTERS.batched_fallback_trials += 2 * (stop - start)
+            return self._scalar.run_pairs(runner, start, stop)
+        pairs: List[Tuple["TrialResult", "TrialResult"]] = []
+        index = start
+        while index < stop:
+            chunk_stop = min(stop, index + CHUNK_LANES)
+            pairs.extend(self._run_chunk(runner, index, chunk_stop))
+            index = chunk_stop
+        return pairs
+
+    # ------------------------------------------------------------------
+    def _static_fallback_reason(self, runner: "AttackRunner") -> Optional[str]:
+        """Config-level reasons the engine cannot host this cell.
+
+        These are the *known* unsupported shapes, reported with a
+        stable human-readable reason; anything subtler is caught at
+        run time by the engine's divergence guards instead.
+        """
+        config = runner.config
+        if config.channel is not ChannelType.TIMING_WINDOW:
+            return f"channel {config.channel.value} is not lane-vectorized"
+        if config.defense is not None:
+            return f"defense {config.defense.name} is not lane-vectorized"
+        if callable(config.predictor):
+            return "custom predictor factories have no lane-uniform form"
+        if str(config.predictor) not in _VECTOR_PREDICTORS:
+            return (
+                f"predictor {config.predictor!r} has no lane-uniform form"
+            )
+        if config.audit_snapshots:
+            return "snapshot auditing replays each trial cold by design"
+        memory_config = config.memory_config
+        if (
+            memory_config is not None
+            and memory_config.replacement_policy != "lru"
+        ):
+            return (
+                f"replacement policy {memory_config.replacement_policy!r} "
+                "draws per-trial randomness into cache structure"
+            )
+        core_config = runner._core_config()
+        for flag in (
+            "train_on_hit", "predict_on_hit",
+            "delay_speculative_fills", "invisispec",
+        ):
+            if getattr(core_config, flag):
+                return f"core flag {flag} is not lane-vectorized"
+        return None
+
+    def _journal(self, runner: "AttackRunner", reason: str) -> None:
+        config = runner.config
+        predictor = (
+            config.predictor
+            if isinstance(config.predictor, str)
+            else getattr(config.predictor, "__name__", "custom")
+        )
+        cell = (
+            f"{runner.variant.name}/{config.channel.value}"
+            f"/vp={predictor}"
+            f"/defense={config.defense.name if config.defense else 'none'}"
+            f"/seed={config.seed}"
+        )
+        journal_fallback(cell, reason)
+        self.fallback_events.append((cell, reason))
+
+    # ------------------------------------------------------------------
+    def _run_chunk(
+        self, runner: "AttackRunner", start: int, stop: int
+    ) -> List[Tuple["TrialResult", "TrialResult"]]:
+        """One chunk, vectorized; any failure replays it on scalar."""
+        indices = range(start, stop)
+        try:
+            mapped_rows, mapped_machine = self._run_batch(
+                runner, True, indices
+            )
+            unmapped_rows, unmapped_machine = self._run_batch(
+                runner, False, indices
+            )
+        except (KeyboardInterrupt, SystemExit):  # pragma: no cover
+            raise
+        except Exception as exc:
+            # LaneDivergence mostly; but *any* vectorized failure is
+            # recoverable the same way, and a genuine configuration or
+            # simulation error will re-raise from the scalar replay
+            # with its authentic scalar behavior.
+            self._journal(runner, f"{type(exc).__name__}: {exc}")
+            COUNTERS.batched_fallback_chunks += 1
+            COUNTERS.batched_fallback_trials += 2 * len(indices)
+            return self._scalar.run_pairs(runner, start, stop)
+        # Commit only after both hypotheses vectorized cleanly, so a
+        # fallen-back chunk contributes exactly its scalar accounting.
+        lanes = len(indices)
+        COUNTERS.trials += 2 * lanes
+        COUNTERS.batched_chunks += 1
+        COUNTERS.batched_vector_trials += 2 * lanes
+        for machine in (mapped_machine, unmapped_machine):
+            COUNTERS.simulated_cycles += machine.simulated_cycles
+            COUNTERS.batched_lane_cycles += machine.simulated_cycles
+            COUNTERS.batched_lanes_retired += machine.total_retired
+            COUNTERS.batched_lanes_squashed += machine.total_squashes
+        return [
+            (mapped_rows[lane], unmapped_rows[lane])
+            for lane in range(lanes)
+        ]
+
+    def _run_batch(
+        self, runner: "AttackRunner", mapped: bool, indices: Sequence[int]
+    ) -> Tuple[List["TrialResult"], Any]:
+        """All of one hypothesis's trials in the chunk, in lockstep."""
+        from repro.core.attack import TrialResult, attack_dram_config
+
+        lockstep = self._lockstep
+        config = runner.config
+        seeds = [_trial_seed(config, mapped, i) for i in indices]
+        base_memory = config.memory_config or MemoryConfig(
+            dram=attack_dram_config()
+        )
+        shared_region = (
+            config.layout.probe_base,
+            config.layout.probe_lines * config.layout.probe_stride,
+        )
+        snapshot_mode = config.snapshot_trials
+        machine_seed = (
+            runner._prologue_seed(mapped) if snapshot_mode else seeds[0]
+        )
+        machine = lockstep.LockstepMachine(
+            core_config=runner._core_config(),
+            memory_config=replace(base_memory, seed=machine_seed),
+            predictor=runner._fresh_predictor(),
+            lane_seeds=seeds,
+            shared_region=shared_region,
+        )
+        env = runner._env_around(machine.mem, lockstep.LaneCore(machine))
+        try:
+            if snapshot_mode:
+                # The snapshot protocol: one prologue under the fixed
+                # per-hypothesis seed with a single shared jitter
+                # stream (every scalar fork shares that one prologue's
+                # draws), then per-lane trial streams for the measured
+                # window — exactly ``reseed_jitter(trial_seed)``.
+                machine.use_uniform_streams(machine_seed)
+                runner.variant.run_prologue(env, mapped)
+                machine.use_lane_streams(seeds)
+                runner.variant.run_measured(env, mapped)
+            else:
+                # The default protocol: each lane models a fresh
+                # machine under its own trial seed — per-lane jitter
+                # streams from the start and per-lane backing-store
+                # defaults; structural state is lane-uniform because
+                # every lane executes the identical access sequence.
+                machine.set_lane_default_seeds(seeds)
+                runner.variant.run(env, mapped)
+        except lockstep._LaneMeasurement as measured:
+            values = measured.values
+        else:
+            raise lockstep.LaneDivergence(
+                "measured window returned without a lane measurement"
+            )
+        sim_cycles = (
+            machine.cycle
+            + config.sync_base_cycles
+            + config.sync_phase_cycles * runner.variant.num_phases
+        )
+        rows = [
+            TrialResult(
+                measurement=float(values[lane]),
+                sim_cycles=int(sim_cycles[lane]),
+            )
+            for lane in range(len(seeds))
+        ]
+        return rows, machine

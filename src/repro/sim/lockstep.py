@@ -1,0 +1,789 @@
+"""Structure-of-arrays lockstep engine for the batched backend.
+
+One :class:`LockstepMachine` simulates **many trials of the same cell
+program at once**.  Trials of one hypothesis batch execute the exact
+same dynamic uop trace (straight-line programs, no data-dependent
+control flow in the native envelope), so the machine keeps *structural*
+state — caches, TLB, the value predictor — once, shared by every lane,
+and keeps *per-lane* state — cycle schedules, jitter RNG streams,
+default memory values — as numpy ``[lanes]`` vectors.
+
+Instead of stepping cycles, the engine makes a single forward pass
+over the dynamic trace in dispatch order and computes each column's
+dispatch / issue / value-ready / complete / retire cycles as max-plus
+recurrences that are provably equal to the scalar core's greedy
+schedule (see ``docs/ARCHITECTURE.md`` §14 for the derivation):
+
+* dispatch: ``D[n] = max(D[n-1], D[n-fetch_width] + 1, stall,
+  R[last FENCE], R[n-rob_size])`` — in-order, width-limited, stalled
+  after squashes, gated by fences and ROB occupancy (commit precedes
+  dispatch within a cycle, so the ``R`` terms allow equality);
+* issue: ``I = max(D + 1, producers' value-ready)`` (the scalar issue
+  stage runs before dispatch in a cycle, hence the ``+1``; consumers
+  may issue the same cycle a producer's value becomes ready), with
+  memory ops additionally chained in program order through the two
+  memory ports: ``I_mem[k] >= max(I_mem[k-1], I_mem[k-2] + 1)``;
+* retire: ``R[n] = max(C[n], R[n-1], R[n-commit_width] + 1)``;
+  serialising ops (FENCE/RDTSC) execute at the ROB head instead:
+  ``C = VR = R = max(R[n-1], D + 1, R[n-commit_width] + 1)``.
+
+The recurrences assume the *unconstrained* schedule never oversubscribes
+the issue width or the ALU/MUL ports; a post-hoc sorted-issue-cycle
+check verifies that per lane and raises :class:`LaneDivergence` when
+it would bind (greedy-with-caps then differs from unconstrained, so the
+chunk is replayed on the scalar backend — never silently wrong).
+
+Everything the engine cannot prove lane-uniform or schedule-exact —
+stores, non-uniform addresses or trained values, cross-lane
+train/predict reordering, speculative memory ops in a squash window,
+SMT co-runners, cycle-budget proximity — raises
+:class:`LaneDivergence` the same way.  Correctness never depends on
+the eligibility analysis being complete, only on these runtime guards
+being conservative.
+
+Measurements leave the engine through a deliberate trap:
+:class:`LaneCore` quacks like :class:`repro.pipeline.core.Core` for the
+variant orchestration code, but its :class:`LaneRunResult` wraps cycle
+vectors in :class:`_LaneInt`, whose ``float()`` — the last operation of
+every variant's measured window — raises :class:`_LaneMeasurement`
+carrying the per-lane measurement vector.  The real Table II variant
+code therefore runs unmodified, and a measured window that returns
+*without* raising took a path the engine does not model — which is
+itself treated as a divergence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.isa.instructions import AluOp, Instruction, Opcode
+from repro.memory.address import line_address
+from repro.memory.hierarchy import MemoryConfig, MemorySystem
+from repro.memory.memsys import _splitmix64
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import EA_MASK, _alu_compute
+from repro.vp.base import AccessKey, Prediction, ValuePredictor
+
+_VALUE_MASK = (1 << 64) - 1
+
+#: SplitMix64 constants, as unsigned 64-bit numpy scalars.
+_SM_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_SM_MUL1 = np.uint64(0xBF58476D1CE4E5B9)
+_SM_MUL2 = np.uint64(0x94D049BB133111EB)
+
+
+class LaneDivergence(Exception):
+    """The batch left the engine's provably-exact envelope.
+
+    Not a :class:`~repro.errors.ReproError`: this is internal control
+    flow of the batched backend (the chunk transparently re-runs on the
+    scalar backend), never an error surfaced to callers.
+    """
+
+
+class _LaneMeasurement(Exception):
+    """Carries the per-lane measurement vector out of variant code."""
+
+    def __init__(self, values: np.ndarray) -> None:
+        super().__init__("lane measurement")
+        self.values = values
+
+
+def _splitmix64_vec(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`repro.memory.memsys._splitmix64` (uint64 in/out)."""
+    with np.errstate(over="ignore"):
+        v = (values + _SM_GAMMA).astype(np.uint64)
+        v = ((v ^ (v >> np.uint64(30))) * _SM_MUL1).astype(np.uint64)
+        v = ((v ^ (v >> np.uint64(27))) * _SM_MUL2).astype(np.uint64)
+        return v ^ (v >> np.uint64(31))
+
+
+def _alu_vec(alu_op: AluOp, lhs: object, rhs: object) -> np.ndarray:
+    """Vector-aware ALU evaluation matching ``_alu_compute`` per lane."""
+    left = np.asarray(lhs).astype(np.uint64)
+    right = np.asarray(rhs).astype(np.uint64)
+    with np.errstate(over="ignore"):
+        if alu_op is AluOp.ADD:
+            result = left + right
+        elif alu_op is AluOp.SUB:
+            result = left - right
+        elif alu_op is AluOp.XOR:
+            result = left ^ right
+        elif alu_op is AluOp.AND:
+            result = left & right
+        elif alu_op is AluOp.OR:
+            result = left | right
+        elif alu_op is AluOp.MUL:
+            result = left * right
+        elif alu_op is AluOp.SHL:
+            result = left << (right & np.uint64(63))
+        elif alu_op is AluOp.SHR:
+            result = left >> (right & np.uint64(63))
+        else:  # pragma: no cover - exhaustive over AluOp
+            raise LaneDivergence(f"unhandled ALU op {alu_op}")
+    return result.astype(np.uint64)
+
+
+def _uniform_int(value: object, what: str) -> int:
+    """Collapse a lane value to a plain int, or diverge."""
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    array = np.asarray(value)
+    first = array.flat[0]
+    if not bool(np.all(array == first)):
+        raise LaneDivergence(f"non-uniform {what} across lanes")
+    return int(first)
+
+
+class _LaneInt:
+    """An integer-per-lane quantity that refuses to become one float.
+
+    Supports the arithmetic the variant layer actually performs on
+    run results (subtraction for RDTSC deltas); ``float()`` raises
+    :class:`_LaneMeasurement` so the measurement escapes with its full
+    lane vector instead of collapsing.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: np.ndarray) -> None:
+        self.values = values
+
+    def __sub__(self, other: object) -> "_LaneInt":
+        if isinstance(other, _LaneInt):
+            return _LaneInt(self.values - other.values)
+        return _LaneInt(self.values - other)  # type: ignore[operator]
+
+    def __rsub__(self, other: object) -> "_LaneInt":
+        return _LaneInt(other - self.values)  # type: ignore[operator]
+
+    def __add__(self, other: object) -> "_LaneInt":
+        if isinstance(other, _LaneInt):
+            return _LaneInt(self.values + other.values)
+        return _LaneInt(self.values + other)  # type: ignore[operator]
+
+    __radd__ = __add__
+
+    def __float__(self) -> float:
+        raise _LaneMeasurement(self.values.astype(np.float64))
+
+    def __int__(self) -> int:
+        raise _LaneMeasurement(self.values.astype(np.float64))
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"_LaneInt({self.values!r})"
+
+
+class LaneRunResult:
+    """Per-lane analogue of :class:`repro.pipeline.trace.RunResult`."""
+
+    __slots__ = (
+        "program_name", "pid", "start_cycles", "end_cycles",
+        "retired", "squashes", "rdtsc_values",
+    )
+
+    def __init__(
+        self,
+        program_name: str,
+        pid: int,
+        start_cycles: np.ndarray,
+        end_cycles: np.ndarray,
+        retired: int,
+        squashes: int,
+        rdtsc_values: List[Tuple[int, np.ndarray]],
+    ) -> None:
+        self.program_name = program_name
+        self.pid = pid
+        self.start_cycles = start_cycles
+        self.end_cycles = end_cycles
+        self.retired = retired
+        self.squashes = squashes
+        self.rdtsc_values = rdtsc_values
+
+    @property
+    def cycles(self) -> _LaneInt:
+        """Per-lane run length (``end - start``), as a lane vector."""
+        return _LaneInt(self.end_cycles - self.start_cycles)
+
+    def rdtsc_delta(self, first: int = 0, second: int = 1) -> _LaneInt:
+        """Per-lane difference between two RDTSC readings."""
+        if len(self.rdtsc_values) <= max(first, second):
+            raise LaneDivergence(
+                f"program {self.program_name} recorded "
+                f"{len(self.rdtsc_values)} RDTSC values, need {second + 1}"
+            )
+        return _LaneInt(
+            self.rdtsc_values[second][1] - self.rdtsc_values[first][1]
+        )
+
+
+class LaneCore:
+    """Quacks like :class:`~repro.pipeline.core.Core` for variant code."""
+
+    __slots__ = ("machine",)
+
+    def __init__(self, machine: "LockstepMachine") -> None:
+        self.machine = machine
+
+    @property
+    def cycle(self) -> _LaneInt:
+        """Per-lane global cycle counter (monotonic across runs)."""
+        return _LaneInt(self.machine.cycle)
+
+    def run(self, program: object) -> LaneRunResult:
+        """Execute one program across every lane in lockstep."""
+        return self.machine.run_program(program)
+
+    def run_concurrent(self, programs: Sequence[object]) -> List[LaneRunResult]:
+        """Single-program degenerate form only; SMT diverges."""
+        if len(programs) != 1:
+            raise LaneDivergence(
+                "concurrent SMT contexts (volatile channel) are not "
+                "lane-vectorizable"
+            )
+        return [self.machine.run_program(programs[0])]
+
+
+class _Col:
+    """Schedule of one dynamic uop column across all lanes."""
+
+    __slots__ = ("D", "I", "VR", "C", "R", "result")
+
+    def __init__(self) -> None:
+        self.D: Optional[np.ndarray] = None
+        self.I: Optional[np.ndarray] = None
+        self.VR: Optional[np.ndarray] = None
+        self.C: Optional[np.ndarray] = None
+        self.R: Optional[np.ndarray] = None
+        self.result: object = None
+
+
+class _PendingTrain:
+    """One predictor training event waiting for its completion cycle."""
+
+    __slots__ = ("complete", "key", "value", "prediction")
+
+    def __init__(
+        self,
+        complete: np.ndarray,
+        key: AccessKey,
+        value: int,
+        prediction: Optional[Prediction],
+    ) -> None:
+        self.complete = complete
+        self.key = key
+        self.value = value
+        self.prediction = prediction
+
+
+class LockstepMachine:
+    """Lockstep simulation of many same-program trials (one hypothesis).
+
+    Args:
+        core_config: Effective core configuration (defense-adjusted).
+        memory_config: Effective memory configuration; its ``seed``
+            only matters when :meth:`set_lane_default_seeds` is not
+            used (snapshot protocol: the uniform prologue seed).
+        predictor: The shared value predictor.  Lane uniformity of its
+            state is an invariant the engine enforces: every training
+            value must be lane-uniform or the batch diverges.
+        lane_seeds: Per-lane trial seeds (jitter streams start here).
+        shared_region: ``(base, size)`` registered on the private
+            memory system, mirroring ``AttackRunner._machine``.
+    """
+
+    def __init__(
+        self,
+        core_config: CoreConfig,
+        memory_config: MemoryConfig,
+        predictor: ValuePredictor,
+        lane_seeds: Sequence[int],
+        shared_region: Tuple[int, int],
+    ) -> None:
+        self.lanes = len(lane_seeds)
+        self.config = core_config
+        self.mem = MemorySystem(memory_config)
+        self.mem.add_shared_region(*shared_region)
+        self.predictor = predictor
+        self.cycle = np.zeros(self.lanes, dtype=np.int64)
+        self.simulated_cycles = 0
+        self.total_retired = 0
+        self.total_squashes = 0
+        self._pending_trains: List[_PendingTrain] = []
+        #: Per-lane default backing values; None means "use the shared
+        #: MemorySystem's own seed" (lane-uniform, snapshot protocol).
+        self._lane_default_seeds: Optional[np.ndarray] = None
+        self._rng_mem: List[random.Random] = []
+        self._rng_dram: List[random.Random] = []
+        self.use_lane_streams(lane_seeds)
+
+    # -- jitter stream control -----------------------------------------
+    def use_lane_streams(self, lane_seeds: Sequence[int]) -> None:
+        """Per-lane jitter streams, exactly ``MemorySystem.reseed_jitter``.
+
+        Lane ``k`` draws L2 jitter from ``Random(seed_k ^ 0xC0FFEE)``
+        and DRAM latency from ``Random(seed_k ^ 0x33)`` — the streams a
+        scalar machine reset (or jitter-reseeded) under ``seed_k``
+        would use.
+        """
+        if len(lane_seeds) != self.lanes:
+            raise SimulationError("lane seed count changed mid-batch")
+        self._uniform_streams = False
+        self._rng_mem = [random.Random(s ^ 0xC0FFEE) for s in lane_seeds]
+        self._rng_dram = [random.Random(s ^ 0x33) for s in lane_seeds]
+
+    def use_uniform_streams(self, seed: int) -> None:
+        """One shared jitter stream (the snapshot protocol's prologue).
+
+        Every lane observes the *same* draw sequence — one draw per
+        access, broadcast — mirroring the one scalar prologue run whose
+        state all forks share.
+        """
+        self._uniform_streams = True
+        self._rng_mem = [random.Random(seed ^ 0xC0FFEE)]
+        self._rng_dram = [random.Random(seed ^ 0x33)]
+
+    def set_lane_default_seeds(self, lane_seeds: Sequence[int]) -> None:
+        """Per-lane backing-store default seeds (warm/cold protocol).
+
+        Unwritten addresses then read
+        ``splitmix64(paddr ^ seed_k)`` in lane ``k``, matching a scalar
+        machine reset under ``seed_k``.
+        """
+        self._lane_default_seeds = np.array(
+            [s & _VALUE_MASK for s in lane_seeds], dtype=np.uint64
+        )
+
+    # -- value plumbing -------------------------------------------------
+    def _value_at(self, paddr: int) -> object:
+        """Architectural value at ``paddr``: shared write or lane default."""
+        store = self.mem.store_values
+        if store.is_written(paddr):
+            return store.read(paddr)
+        if self._lane_default_seeds is None:
+            return store.read(paddr)
+        return _splitmix64_vec(
+            np.uint64(paddr) ^ self._lane_default_seeds
+        )
+
+    # -- per-lane latency draws ----------------------------------------
+    def _draw_l2_jitter(self) -> np.ndarray:
+        jitter = self.mem.config.l2_jitter
+        if self._uniform_streams:
+            return np.full(
+                self.lanes, self._rng_mem[0].randint(0, jitter),
+                dtype=np.int64,
+            )
+        return np.fromiter(
+            (rng.randint(0, jitter) for rng in self._rng_mem),
+            dtype=np.int64,
+            count=self.lanes,
+        )
+
+    def _draw_dram(self) -> np.ndarray:
+        """Per-lane DRAM latency, mirroring ``DramModel.access_latency``."""
+        config = self.mem.config.dram
+        base = config.base_latency
+        jitter = config.jitter
+        tail_extra = config.tail_extra
+        tail_probability = config.tail_probability
+
+        def one(rng: random.Random) -> int:
+            latency = base
+            if jitter:
+                latency += rng.randint(0, jitter)
+            if tail_extra and rng.random() < tail_probability:
+                latency += tail_extra
+            return latency
+
+        if self._uniform_streams:
+            return np.full(self.lanes, one(self._rng_dram[0]), dtype=np.int64)
+        out = np.empty(self.lanes, dtype=np.int64)
+        for lane, rng in enumerate(self._rng_dram):
+            out[lane] = one(rng)
+        return out
+
+    def _load_access(self, pid: int, vaddr: int) -> Tuple[object, bool, int]:
+        """The timed-load structural walk, with lane-vector latencies.
+
+        Mirrors :meth:`MemorySystem.load` (fill path) stage for stage —
+        translate, TLB access, L1 lookup, L2 lookup, jitter/DRAM draw,
+        fill — against the *real* shared structures, so replacement
+        state evolves exactly as one scalar trial's would.  Only the
+        latency draws are per-lane.  Returns ``(latency, l1_hit,
+        paddr)`` where latency is an int (L1 hit) or an ``[lanes]``
+        vector.
+        """
+        mem = self.mem
+        paddr = mem.translate(pid, vaddr)
+        tlb_latency = mem.tlb.access(pid, vaddr)
+        line = line_address(paddr, mem.config.line_size)
+        if mem.l1.lookup(line):
+            return mem.config.l1_hit_latency + tlb_latency, True, paddr
+        l2_hit = mem.l2.lookup(line)
+        latency: object = (
+            mem.config.l1_hit_latency + mem.config.l2_hit_latency
+            + tlb_latency
+        )
+        if l2_hit:
+            if mem.config.l2_jitter:
+                latency = latency + self._draw_l2_jitter()
+        else:
+            latency = latency + self._draw_dram()
+        mem.apply_fill(paddr)
+        return latency, False, paddr
+
+    # -- predictor ledger -----------------------------------------------
+    def _enqueue_train(
+        self,
+        key: AccessKey,
+        value: int,
+        prediction: Optional[Prediction],
+        complete: np.ndarray,
+    ) -> None:
+        pending = self._pending_trains
+        if pending and not bool(np.all(complete >= pending[-1].complete)):
+            # Training order would differ between lanes; the shared
+            # predictor can only replay one order.
+            raise LaneDivergence("training completions cross between lanes")
+        pending.append(_PendingTrain(complete, key, value, prediction))
+
+    def _consult_predictor(
+        self, key: AccessKey, issue: np.ndarray
+    ) -> Optional[Prediction]:
+        """Predict for a missing load, applying due trainings first.
+
+        The scalar core trains at each load's completion cycle and
+        predicts at each miss's issue cycle; completion runs before
+        issue within a cycle, so a pending training applies iff its
+        completion is <= the consulting issue in *every* lane.  A
+        training that straddles the issue (before it in one lane,
+        after it in another) means the lanes observe different
+        predictor states — divergence.
+        """
+        pending = self._pending_trains
+        applied = 0
+        for train in pending:
+            if bool(np.all(train.complete <= issue)):
+                self.predictor.train(train.key, train.value, train.prediction)
+                applied += 1
+                continue
+            if not bool(np.all(train.complete > issue)):
+                raise LaneDivergence(
+                    "train/predict order differs across lanes"
+                )
+            break
+        if applied:
+            del pending[:applied]
+        return self.predictor.predict(key)
+
+    def drain_trains(self) -> None:
+        """Apply every still-pending training (end of the measured code).
+
+        Safe to run early at a run boundary: the next consult can only
+        happen at an issue cycle beyond this run's last completion, so
+        it would apply these trainings first anyway; order within the
+        list is completion order by the enqueue invariant.
+        """
+        for train in self._pending_trains:
+            self.predictor.train(train.key, train.value, train.prediction)
+        self._pending_trains.clear()
+
+    # -- the forward pass ----------------------------------------------
+    def run_program(self, program: object) -> LaneRunResult:
+        """Lockstep-execute one program; advances the shared clock."""
+        trace = program.dynamic_trace()  # type: ignore[attr-defined]
+        pid: int = program.pid  # type: ignore[attr-defined]
+        name: str = program.name  # type: ignore[attr-defined]
+        config = self.config
+        if not trace:
+            raise LaneDivergence(f"program {name} has an empty trace")
+
+        lanes = self.lanes
+        start = self.cycle
+        one = 1  # numpy broadcasts python ints; keep the hot path terse
+        fetch_width = config.fetch_width
+        commit_width = config.commit_width
+        rob_size = config.rob_size
+
+        cols: List[_Col] = []
+        rename: Dict[int, _Col] = {}
+        arch: Dict[int, object] = {}
+        stall: Optional[np.ndarray] = None
+        fence_gate: Optional[np.ndarray] = None
+        last_mem: Optional[np.ndarray] = None
+        prev_mem: Optional[np.ndarray] = None
+        rdtsc_values: List[Tuple[int, np.ndarray]] = []
+        squashes = 0
+        # Issue-cycle logs for the post-hoc width/port oversubscription
+        # guards (the recurrences assume the caps never bind).
+        width_issues: List[np.ndarray] = []
+        alu_issues: List[np.ndarray] = []
+        mul_issues: List[np.ndarray] = []
+
+        def source_ready(base: np.ndarray, regs: Tuple[int, ...]) -> np.ndarray:
+            ready = base
+            for reg in regs:
+                producer = rename.get(reg)
+                if producer is not None:
+                    assert producer.VR is not None
+                    ready = np.maximum(ready, producer.VR)
+            return ready
+
+        def source_value(reg: int) -> object:
+            producer = rename.get(reg)
+            if producer is None:
+                return arch.get(reg, 0)
+            if producer.result is None:
+                raise LaneDivergence("consumer scheduled before producer")
+            return producer.result
+
+        def retire_cycle(complete: np.ndarray) -> np.ndarray:
+            n = len(cols)
+            retire = complete
+            if n:
+                assert cols[-1].R is not None
+                retire = np.maximum(retire, cols[-1].R)
+            if n >= commit_width:
+                chain = cols[n - commit_width].R
+                assert chain is not None
+                retire = np.maximum(retire, chain + one)
+            return retire
+
+        index = 0
+        trace_length = len(trace)
+        while index < trace_length:
+            placed = trace[index]
+            instr: Instruction = placed.instruction
+            op = instr.op
+            col = _Col()
+            n = len(cols)
+
+            # -- dispatch ----------------------------------------------
+            dispatch = cols[-1].D if n else start
+            assert dispatch is not None
+            if n >= fetch_width:
+                prior = cols[n - fetch_width].D
+                assert prior is not None
+                dispatch = np.maximum(dispatch, prior + one)
+            if stall is not None:
+                dispatch = np.maximum(dispatch, stall)
+            if fence_gate is not None:
+                dispatch = np.maximum(dispatch, fence_gate)
+            if n >= rob_size:
+                rob_gate = cols[n - rob_size].R
+                assert rob_gate is not None
+                dispatch = np.maximum(dispatch, rob_gate)
+            col.D = dispatch
+
+            squashed_here = False
+            if op in (Opcode.FENCE, Opcode.RDTSC):
+                # Serialising: executes at the ROB head once drained.
+                retire = np.maximum(dispatch + one, retire_cycle(dispatch))
+                col.I = col.VR = col.C = col.R = retire
+                if op is Opcode.FENCE:
+                    fence_gate = retire
+                else:
+                    col.result = retire  # RDTSC reads its retire cycle
+                    rdtsc_values.append((placed.pc, retire))
+            elif op in (Opcode.NOP, Opcode.HALT):
+                issue = dispatch + one
+                width_issues.append(issue)
+                col.I = issue
+                col.VR = col.C = issue + one
+                col.R = retire_cycle(col.C)
+            elif op is Opcode.LI:
+                issue = dispatch + one
+                width_issues.append(issue)
+                col.I = issue
+                col.result = instr.imm & _VALUE_MASK
+                col.VR = col.C = issue + config.alu_latency
+                col.R = retire_cycle(col.C)
+            elif op is Opcode.ALU:
+                issue = source_ready(
+                    dispatch + one, instr.source_registers()
+                )
+                width_issues.append(issue)
+                needs_mul = instr.alu_op is AluOp.MUL
+                (mul_issues if needs_mul else alu_issues).append(issue)
+                col.I = issue
+                assert instr.src1 is not None and instr.alu_op is not None
+                lhs = source_value(instr.src1)
+                rhs: object = (
+                    source_value(instr.src2)
+                    if instr.src2 is not None else instr.imm
+                )
+                if isinstance(lhs, np.ndarray) or isinstance(rhs, np.ndarray):
+                    col.result = _alu_vec(instr.alu_op, lhs, rhs)
+                else:
+                    col.result = _alu_compute(instr.alu_op, lhs, rhs)
+                latency = (
+                    config.mul_latency if needs_mul else config.alu_latency
+                )
+                col.VR = col.C = issue + latency
+                col.R = retire_cycle(col.C)
+            elif op is Opcode.STORE:
+                raise LaneDivergence("stores are not lane-vectorized")
+            elif op in (Opcode.FLUSH, Opcode.LOAD):
+                issue = source_ready(
+                    dispatch + one, instr.source_registers()
+                )
+                # Memory ops issue strictly in program order through
+                # the two memory ports.
+                if last_mem is not None:
+                    issue = np.maximum(issue, last_mem)
+                if prev_mem is not None:
+                    issue = np.maximum(issue, prev_mem + one)
+                width_issues.append(issue)
+                prev_mem, last_mem = last_mem, issue
+                col.I = issue
+                base: object = 0
+                if instr.src1 is not None:
+                    base = source_value(instr.src1)
+                addr = _uniform_int(base, "effective address")
+                addr = (addr + instr.imm) & EA_MASK
+                if op is Opcode.FLUSH:
+                    self.mem.flush(pid, addr)
+                    col.VR = col.C = issue + self.mem.config.flush_latency
+                    col.R = retire_cycle(col.C)
+                else:
+                    squashed_here = self._load_column(
+                        col, pid, placed.pc, addr, issue, retire_cycle
+                    )
+            else:  # pragma: no cover - exhaustive over Opcode
+                raise LaneDivergence(f"unhandled opcode {op}")
+
+            cols.append(col)
+            destination = instr.destination_register()
+            if destination is not None:
+                rename[destination] = col
+
+            if squashed_here:
+                # The scalar core dispatched (and possibly issued)
+                # younger ops between the load's issue and its
+                # verification; squashing discards their results, but
+                # a speculative *memory* op would already have walked
+                # the caches.  Prove the kill window held none: only
+                # ops within ROB reach of the load and ahead of any
+                # FENCE could have dispatched (a FENCE cannot retire
+                # past the unverified load at the ROB head), and
+                # serialising/ALU/LI/NOP ops have no global effects.
+                window_end = min(trace_length, index + 1 + rob_size)
+                for spec in trace[index + 1:window_end]:
+                    spec_op = spec.instruction.op
+                    if spec_op is Opcode.FENCE:
+                        break
+                    if spec_op in (Opcode.LOAD, Opcode.STORE, Opcode.FLUSH):
+                        raise LaneDivergence(
+                            "memory op inside a squash window"
+                        )
+                # The engine never materializes the killed columns;
+                # refetch resumes right after the load, penalty applied.
+                squashes += 1
+                assert col.C is not None
+                penalty = col.C + config.squash_penalty
+                stall = (
+                    penalty if stall is None else np.maximum(stall, penalty)
+                )
+            index += 1
+
+        last = cols[-1].R
+        assert last is not None
+        end = last
+        finish = end + one
+        # The scalar core raises SimulationError past the cycle budget;
+        # stay conservatively clear of it so near-budget runs take the
+        # scalar path and raise (or not) exactly as before.
+        if bool(np.any(finish - start > config.max_cycles - 2)):
+            raise LaneDivergence("run approaches the cycle budget")
+
+        self._check_oversubscription(width_issues, config.issue_width, "issue width")
+        self._check_oversubscription(alu_issues, config.alu_ports, "ALU ports")
+        self._check_oversubscription(mul_issues, config.mul_ports, "MUL ports")
+
+        self.simulated_cycles += int(np.sum(finish - start))
+        self.total_retired += len(cols) * lanes
+        self.total_squashes += squashes * lanes
+        self.cycle = finish
+        # Every pending training completed within this run, and any
+        # later consult happens at an issue cycle past this run's end,
+        # so applying them now is order-equivalent and keeps the
+        # ledger from spanning run boundaries.
+        self.drain_trains()
+        return LaneRunResult(
+            program_name=name,
+            pid=pid,
+            start_cycles=start,
+            end_cycles=end,
+            retired=len(cols),
+            squashes=squashes,
+            rdtsc_values=rdtsc_values,
+        )
+
+    # -- loads ----------------------------------------------------------
+    def _load_column(
+        self,
+        col: _Col,
+        pid: int,
+        pc: int,
+        addr: int,
+        issue: np.ndarray,
+        retire_cycle,
+    ) -> bool:
+        """Schedule one load column; returns True when it squashes."""
+        latency, l1_hit, paddr = self._load_access(pid, addr)
+        value = self._value_at(paddr)
+        config = self.config
+        if l1_hit:
+            # L1 hits never engage the (load-miss-based) VPS.
+            col.result = value
+            col.VR = col.C = issue + latency
+            col.R = retire_cycle(col.C)
+            return False
+        memory_return = issue + latency
+        key = AccessKey(pc=pc, addr=addr, pid=pid)
+        prediction: Optional[Prediction] = None
+        if config.value_prediction:
+            prediction = self._consult_predictor(key, issue)
+        if prediction is None:
+            col.result = value
+            col.VR = col.C = memory_return
+            col.R = retire_cycle(col.C)
+            self._enqueue_train(key, _uniform_int(value, "trained value"),
+                                None, memory_return)
+            return False
+        actual = _uniform_int(value, "predicted-load value")
+        self._enqueue_train(key, actual, prediction, memory_return)
+        col.C = memory_return
+        col.result = actual
+        if prediction.value == actual:
+            # Verified correct: consumers saw the early value.
+            col.VR = issue + config.predict_latency
+            col.R = retire_cycle(col.C)
+            return False
+        # Misprediction: the squash is lane-uniform (shared predictor,
+        # uniform actual), so every lane kills the same younger window.
+        col.VR = memory_return
+        col.R = retire_cycle(col.C)
+        return True
+
+    # -- guards ---------------------------------------------------------
+    @staticmethod
+    def _check_oversubscription(
+        issues: List[np.ndarray], cap: int, what: str
+    ) -> None:
+        """Diverge if >cap ops would issue in one cycle in any lane.
+
+        The schedule recurrences assume the unconstrained schedule
+        respects every per-cycle cap; sort each class's issue cycles
+        per lane and check no ``cap+1`` of them coincide.
+        """
+        if len(issues) <= cap:
+            return
+        stacked = np.sort(np.stack(issues), axis=0)
+        if bool(np.any(stacked[cap:] <= stacked[:-cap])):
+            raise LaneDivergence(f"{what} oversubscribed")

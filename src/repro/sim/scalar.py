@@ -1,0 +1,33 @@
+"""The reference trial-loop backend: one interpreter run per trial.
+
+This is *the* historical execution path, factored behind the
+:class:`~repro.sim.SimBackend` protocol verbatim: trials run strictly
+in the canonical schedule order — mapped(i), unmapped(i) for ascending
+``i`` — through :meth:`~repro.core.attack.AttackRunner.run_trial`, so
+every artifact ever produced with the default backend replays
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.attack import AttackRunner, TrialResult
+
+
+class ScalarBackend:
+    """Runs each trial through the scalar interpreter, in order."""
+
+    name = "scalar"
+
+    def run_pairs(
+        self, runner: "AttackRunner", start: int, stop: int
+    ) -> List[Tuple["TrialResult", "TrialResult"]]:
+        """Trials ``start .. stop-1`` in the canonical interleaving."""
+        pairs: List[Tuple["TrialResult", "TrialResult"]] = []
+        for index in range(start, stop):
+            mapped_trial = runner.run_trial(True, index)
+            unmapped_trial = runner.run_trial(False, index)
+            pairs.append((mapped_trial, unmapped_trial))
+        return pairs

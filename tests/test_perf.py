@@ -67,9 +67,11 @@ class TestPerfCounters:
         from repro.harness.parallel import _variant_by_name
 
         before = COUNTERS.snapshot()
+        # backend pinned: warm_resets counts the scalar warm-machine
+        # reset protocol, which the batched backend does not use.
         run_cell(
             _variant_by_name("Train + Test"), ChannelType.TIMING_WINDOW,
-            "lvp", n_runs=2, seed=0,
+            "lvp", n_runs=2, seed=0, backend="scalar",
         )
         delta = PerfCounters.delta(before, COUNTERS.snapshot())
         assert delta.get("trials", 0) > 0

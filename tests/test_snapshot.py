@@ -61,6 +61,12 @@ def _defenses():
 
 
 def _run(variant_cls, channel, defense, *, force_cold=False, **overrides):
+    # Pinned to the scalar backend: this suite tests the snapshot/fork
+    # engine itself (fork counters, capture bookkeeping), which the
+    # batched lockstep backend replaces with in-lane prologue
+    # broadcasting; cross-backend snapshot identity is covered by
+    # tests/test_sim_backend.py.
+    overrides.setdefault("backend", "scalar")
     config = AttackConfig(
         n_runs=5, channel=channel, seed=3, defense=defense,
         snapshot_trials=True, **overrides,
