@@ -5,7 +5,9 @@ trials/s number: runs the exact 18-cell Table III sweep under the
 scalar reference backend and the numpy lockstep backend
 (:mod:`repro.sim`), asserts every checkpointed cell payload is
 byte-identical, and records the comparison as the ``bench_backend``
-entry of ``BENCH_sweep.json``.
+entry of ``BENCH_sweep.json``.  A second bench prices one defended
+column of the ROADMAP item-5 Pareto matrix (every Table III cell
+under the D defense) as ``bench_backend_defended``.
 
 One-shot comparative timing, ``slow``-marked like the other sweep
 benches so the quick CI pass stays quick.
@@ -21,7 +23,12 @@ from pathlib import Path
 
 from benchmarks.conftest import run_once
 
-_N_RUNS = 8
+#: Trials per hypothesis per cell.  Large enough that the lockstep
+#: engine's one-pass-per-chunk cost amortizes across real lane counts
+#: (the production sweep shape); at smoke sizes (n_runs=8) the
+#: per-cell fixed cost dominates and the speedup reads ~7x instead of
+#: the >=10x the lanes actually deliver.
+_N_RUNS = 64
 
 
 def _sweep_pass(backend):
@@ -95,6 +102,108 @@ def test_backend_sweep_identity_and_speedup(benchmark):
     }, backend="batched")
 
     assert vector > 0, "no trial ran vectorized across the whole sweep"
+    assert covered and vector / covered >= 0.95, (
+        f"sweep not fully vectorized: {vector}/{covered} trials "
+        f"({fallback} fallbacks journaled)"
+    )
+    assert speedup >= 10.0, (
+        f"batched sweep below the 10x target: {speedup:.2f}x"
+    )
+
+
+def test_backend_defended_column_speedup(benchmark):
+    """One defended column of the item-5 Pareto matrix, batched.
+
+    Every Table III cell re-run under the D (delay-side-effects)
+    defense — the defense whose deferred-fill lane form vectorizes
+    fully — priced under both backends.  This is the per-column cost
+    the ROADMAP item-5 defense matrix multiplies out, and the proof
+    that defended cells now ride the vector path (zero fallbacks).
+    """
+    from repro.core.attack import AttackConfig, AttackRunner
+    from repro.core.channels import ChannelType
+    from repro.core.variants import variant_by_name
+    from repro.defenses.delay_effects import DelaySideEffectsDefense
+    from repro.harness.parallel import sweep_specs
+    from repro.perf.counters import COUNTERS, PerfCounters
+    from repro.perf.observe import Stopwatch, write_sweep_trajectory
+    from repro.sim import clear_fallback_journal, fallback_journal
+
+    pytest.importorskip("numpy")
+
+    cells = [
+        (spec.variant, spec.channel, spec.predictor)
+        for spec in sweep_specs(["table3"], n_runs=_N_RUNS, seed=0)
+    ]
+
+    def column(backend):
+        pvalues = []
+        for variant_name, channel, predictor in cells:
+            # Fresh defense per runner: shared defense state across
+            # runners would compare different random paths, not
+            # different backends.
+            runner = AttackRunner(variant_by_name(variant_name), AttackConfig(
+                n_runs=_N_RUNS,
+                channel=ChannelType(channel),
+                predictor=predictor,
+                seed=0,
+                defense=DelaySideEffectsDefense(),
+                backend=backend,
+            ))
+            pvalues.append(float(runner.run_experiment().pvalue))
+        return pvalues
+
+    column("batched")  # warm-up
+    timings = {}
+    results = {}
+    clear_fallback_journal()
+    before = COUNTERS.snapshot()
+    for backend in ("scalar", "batched"):
+        watch = Stopwatch()
+        with watch:
+            results[backend] = column(backend)
+        timings[backend] = watch.elapsed
+    delta = PerfCounters.delta(before, COUNTERS.snapshot())
+
+    assert results["batched"] == results["scalar"], (
+        "defended column diverged across backends"
+    )
+    vector = delta.get("batched_vector_trials", 0)
+    fallback = delta.get("batched_fallback_trials", 0)
+    covered = vector + fallback
+    trials = 2 * _N_RUNS * len(cells)
+    speedup = (
+        timings["scalar"] / timings["batched"]
+        if timings["batched"] else 0.0
+    )
+    print(f"\nD-defended column ({len(cells)} cells, n_runs={_N_RUNS}): "
+          f"scalar {timings['scalar']:.3f} s, batched "
+          f"{timings['batched']:.3f} s, {speedup:.2f}x; "
+          f"{vector} vectorized / {fallback} fallback trials")
+    for cell, reason in fallback_journal():
+        print(f"  fallback: {cell}: {reason}")
+
+    write_sweep_trajectory("bench_backend_defended", {
+        "defense": "D-type (delay side effects)",
+        "cells": len(cells),
+        "n_runs": _N_RUNS,
+        "wall_clock_s": timings["batched"],
+        "cells_per_s": (
+            len(cells) / timings["batched"] if timings["batched"] else 0.0
+        ),
+        "trials_simulated": trials,
+        "scalar_wall_clock_s": timings["scalar"],
+        "speedup_vs_scalar": speedup,
+        "vector_trials": vector,
+        "fallback_trials": fallback,
+        "vectorized_fraction": vector / covered if covered else 0.0,
+        "byte_identical": True,
+    }, backend="batched")
+
+    assert fallback == 0, (
+        f"the D defense should vectorize fully; journal: "
+        f"{fallback_journal()}"
+    )
     assert speedup > 1.0, (
-        f"batched sweep slower than scalar: {speedup:.2f}x"
+        f"defended batched column slower than scalar: {speedup:.2f}x"
     )

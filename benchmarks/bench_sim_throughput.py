@@ -209,9 +209,15 @@ def test_batched_backend_trials_per_s():
 def test_parallel_sweep_speedup():
     """Table III sweep at 4 workers vs serial, byte-identical results.
 
-    The >= 3x wall-clock assertion only applies where 4 workers can
-    actually run in parallel; on smaller hosts the bench still records
-    the measured speedup into the snapshot.
+    The snapshot once recorded ``speedup_vs_serial: 1.03`` — measured
+    on a host where the 4-process pool had effectively one CPU to run
+    on, so the "parallel" number was really a serial number with pool
+    overhead.  The record now carries the requested *and* effective
+    worker counts plus the host CPU count, and the bench refuses to
+    stamp a "parallel" record at all when fewer than 2 workers could
+    actually run concurrently: better no record than a misleading one.
+    The >= 3x wall-clock assertion still only applies on >= 4-core
+    hosts.
     """
     import tempfile
 
@@ -244,9 +250,19 @@ def test_parallel_sweep_speedup():
         serial.elapsed_s / parallel.elapsed_s
         if parallel.elapsed_s > 0 else 0.0
     )
+    host_cpus = os.cpu_count() or 1
+    effective_workers = min(parallel.effective_workers, host_cpus)
+    if effective_workers < 2:
+        pytest.skip(
+            "refusing to stamp a 'parallel' bench record with "
+            f"{effective_workers} effective worker(s) "
+            f"(requested {parallel.workers}, host has {host_cpus} CPU(s))"
+        )
     write_bench_snapshot(_SNAPSHOT, "bench_parallel_sweep", {
         "cells": len(specs),
-        "host_cpus": os.cpu_count(),
+        "host_cpus": host_cpus,
+        "workers": parallel.workers,
+        "effective_workers": effective_workers,
         "serial": serial.to_payload(),
         "parallel": parallel.to_payload(),
         "speedup": speedup,
@@ -254,12 +270,15 @@ def test_parallel_sweep_speedup():
     write_sweep_trajectory("bench_parallel_sweep", {
         "cells": len(specs),
         "n_runs": 8,
+        "workers": parallel.workers,
+        "effective_workers": effective_workers,
+        "host_cpus": host_cpus,
         "wall_clock_s": parallel.elapsed_s,
         "cells_per_s": parallel.cells_per_s,
         "trials_simulated": parallel.counters.get("trials", 0),
         "speedup_vs_serial": speedup,
     })
-    if (os.cpu_count() or 1) >= 4:
+    if host_cpus >= 4:
         assert speedup >= 3.0, (
             f"expected >= 3x at 4 workers on a >= 4-core host, "
             f"got {speedup:.2f}x"

@@ -58,6 +58,12 @@ from repro.harness.runner import (
 from repro.memory.hierarchy import MemoryConfig
 from repro.perf.counters import COUNTERS, PerfCounters
 from repro.perf.observe import now
+from repro.sim import (
+    clear_fallback_journal,
+    fallback_histogram,
+    fallback_journal,
+    record_fallbacks,
+)
 
 #: Environment variable consulted for a default worker count (used by
 #: the CI matrix job to run the whole quick suite under ``--workers 2``
@@ -253,12 +259,14 @@ def _init_worker(
     )
     _WORKER_EXECUTOR = ResilientExecutor(policy, injector=injector, store=None)
     COUNTERS.reset()
+    clear_fallback_journal()
 
 
 def _run_spec_in_worker(spec: CellSpec) -> Dict[str, object]:
     """Execute one cell; return its journal payload + perf telemetry."""
     assert _WORKER_EXECUTOR is not None, "worker initializer did not run"
     before = COUNTERS.snapshot()
+    fallback_mark = len(fallback_journal())
     started = now()
     cell = execute_spec(spec, _WORKER_EXECUTOR)
     busy_s = now() - started
@@ -268,6 +276,9 @@ def _run_spec_in_worker(spec: CellSpec) -> Dict[str, object]:
         "failed": failed,
         "payload": None if failed else cell.to_payload(),
         "counters": PerfCounters.delta(before, COUNTERS.snapshot()),
+        # Batched-backend fallbacks are journaled process-locally; ship
+        # this cell's events so the parent sees the sweep-wide truth.
+        "fallbacks": fallback_journal()[fallback_mark:],
         "busy_s": busy_s,
     }
 
@@ -281,6 +292,12 @@ class SweepStats:
     """Telemetry of one parallel (or serial-fallback) prefill pass."""
 
     workers: int
+    #: Workers that could actually run cells concurrently: 1 when the
+    #: serial fallback path executed (workers == 1 or <= 1 pending
+    #: cell), else ``min(workers, pending cells)``.  Benches use this
+    #: to refuse to stamp a "parallel" record that effectively ran
+    #: serially.
+    effective_workers: int = 0
     cells_total: int = 0
     cells_cached: int = 0
     cells_run: int = 0
@@ -288,12 +305,29 @@ class SweepStats:
     elapsed_s: float = 0.0
     busy_s: float = 0.0
     counters: Dict[str, int] = field(default_factory=dict)
+    #: (cell, reason) batched→scalar fallbacks from every process that
+    #: ran cells for this pass — workers ship theirs back, so this is
+    #: the sweep-wide view, not the parent's.
+    fallback_events: List[tuple] = field(default_factory=list)
 
     @property
     def utilization(self) -> float:
         """Fraction of worker-seconds spent executing cells."""
-        capacity = self.elapsed_s * self.workers
+        capacity = self.elapsed_s * (self.effective_workers or self.workers)
         return self.busy_s / capacity if capacity > 0 else 0.0
+
+    @property
+    def vectorized_fraction(self) -> Optional[float]:
+        """Sweep-wide vectorized trial fraction; None off-batched."""
+        vector = self.counters.get("batched_vector_trials", 0)
+        fallback = self.counters.get("batched_fallback_trials", 0)
+        covered = vector + fallback
+        return vector / covered if covered else None
+
+    @property
+    def fallback_reasons(self) -> Dict[str, int]:
+        """Histogram of fallback reasons across every worker."""
+        return fallback_histogram(list(self.fallback_events))
 
     @property
     def cells_per_s(self) -> float:
@@ -313,6 +347,7 @@ class SweepStats:
         """JSON-serialisable snapshot (for BENCH files and ``repro perf``)."""
         return {
             "workers": self.workers,
+            "effective_workers": self.effective_workers or self.workers,
             "cells_total": self.cells_total,
             "cells_cached": self.cells_cached,
             "cells_run": self.cells_run,
@@ -323,6 +358,9 @@ class SweepStats:
             "cells_per_s": self.cells_per_s,
             "cycles_per_s": self.cycles_per_s,
             "counters": dict(self.counters),
+            "vectorized_fraction": self.vectorized_fraction,
+            "fallback_reasons": self.fallback_reasons,
+            "fallback_events": [list(event) for event in self.fallback_events],
         }
 
 
@@ -381,6 +419,7 @@ def run_cells(
     counters = PerfCounters()
 
     if workers == 1 or len(pending) <= 1:
+        stats.effective_workers = 1
         injector = (
             FaultInjector(profile, seed=fault_seed)
             if profile is not None else None
@@ -388,10 +427,12 @@ def run_cells(
         serial = ResilientExecutor(policy, injector=injector, store=store)
         for spec in pending:
             before = COUNTERS.snapshot()
+            fallback_mark = len(fallback_journal())
             cell_started = now()
             cell = execute_spec(spec, serial)
             stats.busy_s += now() - cell_started
             counters.add(PerfCounters.delta(before, COUNTERS.snapshot()))
+            stats.fallback_events.extend(fallback_journal()[fallback_mark:])
             stats.cells_run += 1
             if cell.classification is CellClassification.FAILED:
                 stats.cells_failed += 1
@@ -403,6 +444,7 @@ def run_cells(
 
     from repro.serve.supervisor import SupervisorPolicy, WorkerSupervisor
 
+    stats.effective_workers = min(workers, len(pending))
     outcomes: "queue.Queue" = queue.Queue()
     supervisor = WorkerSupervisor(
         SupervisorPolicy(
@@ -447,6 +489,16 @@ def run_cells(
                 stats.cells_run += 1
                 stats.busy_s += float(result["busy_s"])
                 counters.add(result["counters"])
+                shipped = [
+                    (str(cell_name), str(reason))
+                    for cell_name, reason in result.get("fallbacks") or []
+                ]
+                if shipped:
+                    stats.fallback_events.extend(shipped)
+                    # Fold into this process's journal too, so
+                    # `fallback_journal()` stays the one source of
+                    # truth regardless of sharding.
+                    record_fallbacks(shipped)
                 if result["failed"]:
                     stats.cells_failed += 1
                 elif store is not None:

@@ -532,6 +532,26 @@ def perf_baseline(
     return report
 
 
+def _coverage_lines(payload: Dict[str, Any]) -> List[str]:
+    """Sweep-wide batched-backend coverage, if the sweep used it.
+
+    Reads the ``vectorized_fraction`` / ``fallback_reasons`` keys a
+    :class:`~repro.harness.parallel.SweepStats` payload carries; the
+    events are aggregated across pool workers, so the fraction is the
+    true sweep-wide number, not the parent process's view.
+    """
+    fraction = payload.get("vectorized_fraction")
+    if fraction is None:
+        return []
+    lines = [f"  batched backend: {fraction * 100:.1f}% trials vectorized"]
+    reasons = payload.get("fallback_reasons") or {}
+    for reason, count in sorted(
+        reasons.items(), key=lambda item: (-item[1], item[0])
+    ):
+        lines.append(f"    {count:4d} fallback(s): {reason}")
+    return lines
+
+
 def render_perf_report(report: Dict[str, Any]) -> str:
     """Human-readable rendering of a :func:`perf_baseline` report."""
     lines: List[str] = []
@@ -662,6 +682,7 @@ def render_perf_report(report: Dict[str, Any]) -> str:
         f"hits, {serial['counters'].get('trials', 0)} trials, "
         f"{serial['counters'].get('warm_resets', 0)} warm resets"
     )
+    lines.extend(_coverage_lines(serial))
     parallel = report.get("parallel")
     lines.append("")
     if parallel is None:
@@ -673,4 +694,5 @@ def render_perf_report(report: Dict[str, Any]) -> str:
             f"speedup {parallel['speedup']:.2f}x vs serial, "
             f"utilization {parallel['utilization'] * 100:.0f}%"
         )
+        lines.extend(_coverage_lines(parallel))
     return "\n".join(lines)

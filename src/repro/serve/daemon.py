@@ -74,6 +74,12 @@ from repro.serve.supervisor import (
     TaskOutcome,
     WorkerSupervisor,
 )
+from repro.sim import (
+    clear_fallback_journal,
+    fallback_histogram,
+    fallback_journal,
+    record_fallbacks,
+)
 
 #: Name of the endpoints discovery file under the daemon root.
 ENDPOINTS_FILE = "serve.json"
@@ -128,6 +134,7 @@ def _init_serve_worker(
     _SERVE_EXECUTORS = {}
     _SERVE_FAULTS = (fault_profile_obj, fault_seed)
     COUNTERS.reset()
+    clear_fallback_journal()
 
 
 def _serve_executor(policy_name: str) -> ResilientExecutor:
@@ -157,6 +164,7 @@ def _run_serve_job(payload: Dict[str, Any]) -> Dict[str, Any]:
     spec = spec_to_cell(payload["spec"], payload["key"])
     executor = _serve_executor(str(payload["policy"]))
     before = COUNTERS.snapshot()
+    fallback_mark = len(fallback_journal())
     started = now()
     cell = execute_spec(spec, executor)
     busy_s = now() - started
@@ -167,6 +175,7 @@ def _run_serve_job(payload: Dict[str, Any]) -> Dict[str, Any]:
         "payload": None if failed else cell.to_payload(),
         "note": cell.note,
         "counters": PerfCounters.delta(before, COUNTERS.snapshot()),
+        "fallbacks": fallback_journal()[fallback_mark:],
         "busy_s": busy_s,
     }
 
@@ -379,6 +388,12 @@ class ReproDaemon:
         if outcome.status == "done":
             result = outcome.value
             COUNTERS.add(result["counters"])
+            shipped = [
+                (str(cell_name), str(reason))
+                for cell_name, reason in result.get("fallbacks") or []
+            ]
+            if shipped:
+                record_fallbacks(shipped)
             self._busy_samples.append(float(result["busy_s"]))
             if result["failed"]:
                 self.queue.mark(
@@ -495,6 +510,10 @@ class ReproDaemon:
         states: Dict[str, int] = {}
         for job in jobs:
             states[job["state"]] = states.get(job["state"], 0) + 1
+        counters = COUNTERS.snapshot()
+        vector_trials = int(counters.get("batched_vector_trials", 0))
+        fallback_trials = int(counters.get("batched_fallback_trials", 0))
+        covered = vector_trials + fallback_trials
         return {
             "ok": True,
             "uptime_s": now() - self._started_at,
@@ -512,10 +531,18 @@ class ReproDaemon:
             "supervisor": self.supervisor.stats(),
             "counters": {
                 name: value
-                for name, value in COUNTERS.snapshot().items()
+                for name, value in counters.items()
                 if name.startswith("serve_") or name in (
                     "trials", "simulated_cycles",
                 )
+            },
+            "backend": {
+                "vectorized_fraction": (
+                    vector_trials / covered if covered else None
+                ),
+                "vector_trials": vector_trials,
+                "fallback_trials": fallback_trials,
+                "fallback_reasons": fallback_histogram(),
             },
             "serve_cache_hit_rate": COUNTERS.serve_cache_hit_rate,
             "serve_mean_queue_wait_ms": COUNTERS.serve_mean_queue_wait_ms,

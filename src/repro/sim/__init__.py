@@ -137,6 +137,30 @@ def clear_fallback_journal() -> None:
     _FALLBACK_JOURNAL.clear()
 
 
+def record_fallbacks(events: List[Tuple[str, str]]) -> None:
+    """Merge fallback events shipped from another process's journal.
+
+    Pool and serve workers run the batched backend in their own
+    processes; their journals are process-local.  The parent calls
+    this with each worker result's shipped events so the sweep-wide
+    journal (and anything reporting on it) sees every fallback, not
+    just the parent's.
+    """
+    _FALLBACK_JOURNAL.extend(
+        (str(cell), str(reason)) for cell, reason in events
+    )
+
+
+def fallback_histogram(
+    events: Optional[List[Tuple[str, str]]] = None,
+) -> Dict[str, int]:
+    """Fallback counts per reason (``events`` defaults to the journal)."""
+    histogram: Dict[str, int] = {}
+    for _, reason in (fallback_journal() if events is None else events):
+        histogram[reason] = histogram.get(reason, 0) + 1
+    return histogram
+
+
 __all__ = [
     "BACKEND_ENV",
     "BACKEND_NAMES",
@@ -145,8 +169,10 @@ __all__ = [
     "SimBackend",
     "SimBackendError",
     "clear_fallback_journal",
+    "fallback_histogram",
     "fallback_journal",
     "get_backend",
     "journal_fallback",
+    "record_fallbacks",
     "resolve_backend_name",
 ]

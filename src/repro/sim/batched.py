@@ -27,6 +27,7 @@ is an observable fact, never a silent perf cliff.
 
 from __future__ import annotations
 
+import random
 from dataclasses import replace
 from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
 
@@ -46,10 +47,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 CHUNK_LANES = 128
 
 #: Predictor spec strings with a lane-uniform shared-state form.  The
-#: oracle wrapper composes (it is a pure PC filter); vtage's
-#: history-hashed banks would need their own uniformity proof, and
-#: callables are opaque — both fall back.
-_VECTOR_PREDICTORS = ("lvp", "none")
+#: oracle wrapper composes (it is a pure PC filter); lvp, vtage and
+#: the no-predictor are deterministic pure-Python state machines, so
+#: one shared instance (or, after a lane split, per-lane deepcopies)
+#: replays any lane-uniform training sequence exactly.  Callables are
+#: opaque — they fall back.
+_VECTOR_PREDICTORS = ("lvp", "none", "vtage")
 
 
 def _trial_seed(config: Any, mapped: bool, index: int) -> int:
@@ -108,10 +111,8 @@ class BatchedBackend:
         run time by the engine's divergence guards instead.
         """
         config = runner.config
-        if config.channel is not ChannelType.TIMING_WINDOW:
-            return f"channel {config.channel.value} is not lane-vectorized"
-        if config.defense is not None:
-            return f"defense {config.defense.name} is not lane-vectorized"
+        if config.channel is ChannelType.VOLATILE:
+            return "channel volatile needs SMT co-runners"
         if callable(config.predictor):
             return "custom predictor factories have no lane-uniform form"
         if str(config.predictor) not in _VECTOR_PREDICTORS:
@@ -129,14 +130,25 @@ class BatchedBackend:
                 f"replacement policy {memory_config.replacement_policy!r} "
                 "draws per-trial randomness into cache structure"
             )
-        core_config = runner._core_config()
-        for flag in (
-            "train_on_hit", "predict_on_hit",
-            "delay_speculative_fills", "invisispec",
-        ):
-            if getattr(core_config, flag):
-                return f"core flag {flag} is not lane-vectorized"
         return None
+
+    @staticmethod
+    def _bare_chain(defense: Any) -> bool:
+        """Whether the defense leaves the predictor chain unwrapped.
+
+        Probed, not hard-coded: config-only defenses (D, InvisiSpec)
+        return their argument from ``wrap_predictor`` unchanged, and
+        that identity is exactly the property a lane split needs.
+        """
+        if defense is None:
+            return True
+        from repro.vp.nopred import NoPredictor
+
+        probe = NoPredictor()
+        try:
+            return defense.wrap_predictor(probe) is probe
+        except Exception:  # pragma: no cover - defensive
+            return False
 
     def _journal(self, runner: "AttackRunner", reason: str) -> None:
         config = runner.config
@@ -214,13 +226,31 @@ class BatchedBackend:
         machine_seed = (
             runner._prologue_seed(mapped) if snapshot_mode else seeds[0]
         )
+        predictor = runner._fresh_predictor()
         machine = lockstep.LockstepMachine(
             core_config=runner._core_config(),
             memory_config=replace(base_memory, seed=machine_seed),
-            predictor=runner._fresh_predictor(),
+            predictor=predictor,
             lane_seeds=seeds,
             shared_region=shared_region,
         )
+        # A lane split (per-lane predictor deepcopies, for non-uniform
+        # trainings like the persistent channel's probe-array reads) is
+        # sound only for bare predictor chains: deepcopying a stateful
+        # defense wrapper would fork state the defense deliberately
+        # shares across trials (e.g. the R window RNG).  D/InvisiSpec
+        # adjust the core config without wrapping, so they stay bare.
+        machine.allow_lane_split = self._bare_chain(config.defense)
+        # Any RNG living on the predictor chain (the R defense's shared
+        # window stream) draws per-*trial* randomness the lockstep
+        # batch cannot replay: guard it so the first draw restores the
+        # stream and falls the chunk back to scalar.
+        chain: Any = predictor
+        while chain is not None:
+            rng = getattr(chain, "_rng", None)
+            if isinstance(rng, random.Random):
+                machine.guard_rng(rng)
+            chain = getattr(chain, "inner", None)
         env = runner._env_around(machine.mem, lockstep.LaneCore(machine))
         try:
             if snapshot_mode:
@@ -252,6 +282,12 @@ class BatchedBackend:
             + config.sync_base_cycles
             + config.sync_phase_cycles * runner.variant.num_phases
         )
+        if config.channel is ChannelType.PERSISTENT:
+            # The modelled decode cost (`AttackRunner._finish_trial`):
+            # the receiver reloads the full probe range per trial.
+            sim_cycles = sim_cycles + (
+                config.decode_cycles_per_line * config.layout.probe_lines
+            )
         rows = [
             TrialResult(
                 measurement=float(values[lane]),

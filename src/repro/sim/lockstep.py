@@ -33,9 +33,43 @@ check verifies that per lane and raises :class:`LaneDivergence` when
 it would bind (greedy-with-caps then differs from unconstrained, so the
 chunk is replayed on the scalar backend — never silently wrong).
 
+Beyond the straight-line schedule, the engine models the scalar core's
+out-of-envelope machinery in lane-uniform form:
+
+* **Squash windows execute transiently.**  A mispredicted load's
+  younger window (up to the next FENCE) is replayed against a rename
+  *overlay* seeded with the predicted value; each transient op's
+  dispatch/issue cycles follow the same recurrences, and an op is
+  "issued" only when its issue cycle precedes the squash cycle in
+  *every* lane (a straddle diverges).  Transient loads walk the real
+  caches — the persistent channel's footprint — and enqueue *masked*
+  trainings (a lane trains only where the load completed before the
+  squash).  A transient op whose issue never happens blocks all
+  younger transient memory ops, exactly like the scalar issue stage's
+  ``memory_blocked``.
+* **The training ledger is masked and order-free.**  Pending trainings
+  carry per-lane completion vectors, optional per-lane masks, and a
+  sequence number; they apply in ``(completion, seq)`` order.  While
+  the order and values are lane-uniform the one shared predictor
+  suffices; the first non-uniform application *splits* the predictor
+  into per-lane deepcopies (allowed only for bare chains — no stateful
+  defense wrappers) and replays each lane's schedule independently.
+  Per-lane predictions must re-agree or the batch diverges.
+* **Deferred fills are an event queue.**  Under the D defense a
+  speculative load's fill waits for its speculation source's verify
+  cycle; under InvisiSpec every load's fill waits for its retire
+  cycle.  The engine records ``(cycle vector, paddr)`` events and
+  applies them to the shared hierarchy before every later structural
+  access whose issue is past the event in every lane (a straddle, or
+  a cross-lane reorder of two events, diverges).
+* **The R defense's RNG is guarded, never simulated.**  Its window
+  draws are per-*trial* randomness with a cross-trial shared stream —
+  one batch cannot replay 128 interleaved streams.  The backend
+  snapshots the defense RNG state; the first draw restores it and
+  diverges, so the scalar replay sees a pristine stream.
+
 Everything the engine cannot prove lane-uniform or schedule-exact —
-stores, non-uniform addresses or trained values, cross-lane
-train/predict reordering, speculative memory ops in a squash window,
+stores, non-uniform addresses, cross-lane prediction disagreement,
 SMT co-runners, cycle-budget proximity — raises
 :class:`LaneDivergence` the same way.  Correctness never depends on
 the eligibility analysis being complete, only on these runtime guards
@@ -54,6 +88,7 @@ itself treated as a divergence.
 
 from __future__ import annotations
 
+import copy
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -69,6 +104,11 @@ from repro.pipeline.core import EA_MASK, _alu_compute
 from repro.vp.base import AccessKey, Prediction, ValuePredictor
 
 _VALUE_MASK = (1 << 64) - 1
+
+#: Sentinel issue cycle for transient ops that never issue before the
+#: squash: far beyond any real schedule, so anything chained after it
+#: classifies as "not issued" in every lane.
+_FAR = 1 << 62
 
 #: SplitMix64 constants, as unsigned 64-bit numpy scalars.
 _SM_GAMMA = np.uint64(0x9E3779B97F4A7C15)
@@ -194,7 +234,7 @@ class LaneRunResult:
         end_cycles: np.ndarray,
         retired: int,
         squashes: int,
-        rdtsc_values: List[Tuple[int, np.ndarray]],
+        rdtsc_values: List[Tuple[int, _LaneInt]],
     ) -> None:
         self.program_name = program_name
         self.pid = pid
@@ -202,6 +242,10 @@ class LaneRunResult:
         self.end_cycles = end_cycles
         self.retired = retired
         self.squashes = squashes
+        #: ``(pc, _LaneInt)`` pairs: consumers that subtract two
+        #: readings (directly or via ``probe_latencies_from_rdtsc``)
+        #: get a :class:`_LaneInt` back, so the eventual ``float()``
+        #: raises the lane measurement instead of a TypeError.
         self.rdtsc_values = rdtsc_values
 
     @property
@@ -216,9 +260,7 @@ class LaneRunResult:
                 f"program {self.program_name} recorded "
                 f"{len(self.rdtsc_values)} RDTSC values, need {second + 1}"
             )
-        return _LaneInt(
-            self.rdtsc_values[second][1] - self.rdtsc_values[first][1]
-        )
+        return self.rdtsc_values[second][1] - self.rdtsc_values[first][1]
 
 
 class LaneCore:
@@ -251,7 +293,8 @@ class LaneCore:
 class _Col:
     """Schedule of one dynamic uop column across all lanes."""
 
-    __slots__ = ("D", "I", "VR", "C", "R", "result")
+    __slots__ = ("D", "I", "VR", "C", "R", "result", "seq", "spec_col",
+                 "pred_load")
 
     def __init__(self) -> None:
         self.D: Optional[np.ndarray] = None
@@ -260,24 +303,61 @@ class _Col:
         self.C: Optional[np.ndarray] = None
         self.R: Optional[np.ndarray] = None
         self.result: object = None
+        #: Program-order position; ordering key for speculation sources.
+        self.seq: int = -1
+        #: Youngest unverified predicted-load ancestor at issue time
+        #: (only tracked when the D defense is active).
+        self.spec_col: Optional["_Col"] = None
+        #: True for loads that issued with a value prediction.
+        self.pred_load: bool = False
 
 
 class _PendingTrain:
-    """One predictor training event waiting for its completion cycle."""
+    """One predictor training event waiting for its completion cycle.
 
-    __slots__ = ("complete", "key", "value", "prediction")
+    ``complete`` is a per-lane vector; ``value`` may be a per-lane
+    vector (resolved at application time); ``mask`` — when not None —
+    limits the training to the lanes where it is True (transient loads
+    train only where they completed before the squash); ``seq`` breaks
+    completion-cycle ties in enqueue order, mirroring the scalar
+    core's ``(complete_cycle, seq)`` verification order; ``done``
+    tracks per-lane application once the predictor has split.
+    """
+
+    __slots__ = ("complete", "key", "value", "prediction", "mask", "seq",
+                 "done")
 
     def __init__(
         self,
         complete: np.ndarray,
         key: AccessKey,
-        value: int,
+        value: object,
         prediction: Optional[Prediction],
+        mask: Optional[np.ndarray],
+        seq: int,
+        done: Optional[np.ndarray],
     ) -> None:
         self.complete = complete
         self.key = key
         self.value = value
         self.prediction = prediction
+        self.mask = mask
+        self.seq = seq
+        self.done = done
+
+
+class _FillEvent:
+    """A cache/TLB fill deferred to a future per-lane cycle vector."""
+
+    __slots__ = ("cycle", "paddr", "pid", "vaddr")
+
+    def __init__(
+        self, cycle: np.ndarray, paddr: int, pid: int, vaddr: int
+    ) -> None:
+        self.cycle = cycle
+        self.paddr = paddr
+        self.pid = pid
+        self.vaddr = vaddr
 
 
 class LockstepMachine:
@@ -288,9 +368,11 @@ class LockstepMachine:
         memory_config: Effective memory configuration; its ``seed``
             only matters when :meth:`set_lane_default_seeds` is not
             used (snapshot protocol: the uniform prologue seed).
-        predictor: The shared value predictor.  Lane uniformity of its
-            state is an invariant the engine enforces: every training
-            value must be lane-uniform or the batch diverges.
+        predictor: The shared value predictor chain.  Its state stays
+            lane-uniform as long as every applied training is uniform;
+            the first non-uniform training splits it into per-lane
+            replicas when :attr:`allow_lane_split` permits, and
+            diverges otherwise.
         lane_seeds: Per-lane trial seeds (jitter streams start here).
         shared_region: ``(base, size)`` registered on the private
             memory system, mirroring ``AttackRunner._machine``.
@@ -314,6 +396,22 @@ class LockstepMachine:
         self.total_retired = 0
         self.total_squashes = 0
         self._pending_trains: List[_PendingTrain] = []
+        self._train_seq = 0
+        #: Per-lane predictor replicas after a lane split; None while
+        #: the single shared chain is still exact.
+        self._split: Optional[List[ValuePredictor]] = None
+        #: Whether a lane split is sound for this chain (bare
+        #: predictor chains only — set by the backend).
+        self.allow_lane_split = False
+        #: Per-lane max applied-training completion, for the consult
+        #: ordering guard.
+        self._applied_max: Optional[np.ndarray] = None
+        #: Deferred cache/TLB fills (D defense, InvisiSpec).
+        self._fill_events: List[_FillEvent] = []
+        #: (rng, pristine state) pairs for defense RNGs that must not
+        #: draw inside a vectorized batch (the R defense's window
+        #: stream is per-trial randomness a batch cannot replay).
+        self._rng_guards: List[Tuple[random.Random, object]] = []
         #: Per-lane default backing values; None means "use the shared
         #: MemorySystem's own seed" (lane-uniform, snapshot protocol).
         self._lane_default_seeds: Optional[np.ndarray] = None
@@ -357,6 +455,26 @@ class LockstepMachine:
         self._lane_default_seeds = np.array(
             [s & _VALUE_MASK for s in lane_seeds], dtype=np.uint64
         )
+
+    # -- defense RNG guards ---------------------------------------------
+    def guard_rng(self, rng: random.Random) -> None:
+        """Diverge — with the stream restored — if ``rng`` ever draws.
+
+        Used for the R defense's shared window stream: its draws are
+        per-trial randomness whose cross-trial order a lockstep batch
+        cannot replay.  Restoring the pristine state before raising
+        means the scalar replay consumes the stream exactly as a pure
+        scalar run would have.
+        """
+        self._rng_guards.append((rng, rng.getstate()))
+
+    def _check_rng_guards(self) -> None:
+        for rng, state in self._rng_guards:
+            if rng.getstate() != state:
+                rng.setstate(state)
+                raise LaneDivergence(
+                    "defense RNG drew a per-trial value inside a batch"
+                )
 
     # -- value plumbing -------------------------------------------------
     def _value_at(self, paddr: int) -> object:
@@ -437,61 +555,264 @@ class LockstepMachine:
         mem.apply_fill(paddr)
         return latency, False, paddr
 
+    def _load_access_nofill(
+        self, pid: int, vaddr: int
+    ) -> Tuple[object, bool, int]:
+        """The ``fill=False`` structural walk (``MemorySystem.load``).
+
+        Contains-only lookups (no LRU recency update, no TLB insert),
+        but the *same* latency draws as the fill path — the per-lane
+        jitter streams stay aligned with the scalar machine's.
+        """
+        mem = self.mem
+        paddr = mem.translate(pid, vaddr)
+        tlb_latency = (
+            0 if mem.tlb.contains(pid, vaddr) else mem.tlb.walk_latency
+        )
+        line = line_address(paddr, mem.config.line_size)
+        if mem.l1.contains(line):
+            return mem.config.l1_hit_latency + tlb_latency, True, paddr
+        l2_hit = mem.l2.contains(line)
+        latency: object = (
+            mem.config.l1_hit_latency + mem.config.l2_hit_latency
+            + tlb_latency
+        )
+        if l2_hit:
+            if mem.config.l2_jitter:
+                latency = latency + self._draw_l2_jitter()
+        else:
+            latency = latency + self._draw_dram()
+        return latency, False, paddr
+
+    # -- deferred fill events -------------------------------------------
+    def _schedule_fill(
+        self, cycle: np.ndarray, paddr: int, pid: int, vaddr: int
+    ) -> None:
+        self._fill_events.append(_FillEvent(cycle, paddr, pid, vaddr))
+
+    def _apply_fill_events(self, issue: Optional[np.ndarray]) -> None:
+        """Apply every due deferred fill before an access at ``issue``.
+
+        A fill is due when its cycle precedes the access in every lane
+        (verify and commit both run before issue within a cycle, so
+        equality counts).  A fill due in some lanes only, or two due
+        fills whose order crosses between lanes, would evolve the
+        shared replacement state differently per lane — divergence.
+        ``issue=None`` (end of run) applies everything.
+        """
+        events = self._fill_events
+        if not events:
+            return
+        remaining: List[_FillEvent] = []
+        last_applied: Optional[np.ndarray] = None
+        for event in events:
+            if issue is None:
+                due = True
+            else:
+                mask = event.cycle <= issue
+                if bool(np.all(mask)):
+                    due = True
+                elif not bool(np.any(mask)):
+                    due = False
+                else:
+                    raise LaneDivergence(
+                        "deferred fill straddles a memory access"
+                    )
+            if due:
+                if last_applied is not None and not bool(
+                    np.all(last_applied <= event.cycle)
+                ):
+                    raise LaneDivergence(
+                        "deferred fills reorder across lanes"
+                    )
+                self.mem.apply_deferred_fill(
+                    event.paddr, event.pid, event.vaddr
+                )
+                last_applied = event.cycle
+            else:
+                remaining.append(event)
+        self._fill_events = remaining
+
     # -- predictor ledger -----------------------------------------------
     def _enqueue_train(
         self,
         key: AccessKey,
-        value: int,
+        value: object,
         prediction: Optional[Prediction],
         complete: np.ndarray,
+        mask: Optional[np.ndarray] = None,
     ) -> None:
+        done = (
+            np.zeros(self.lanes, dtype=bool)
+            if self._split is not None else None
+        )
+        self._pending_trains.append(_PendingTrain(
+            complete, key, value, prediction, mask, self._train_seq, done,
+        ))
+        self._train_seq += 1
+
+    def _begin_split(self) -> None:
+        """Fork the shared predictor into per-lane replicas."""
+        if not self.allow_lane_split:
+            raise LaneDivergence(
+                "non-uniform training needs per-lane predictor state, "
+                "which stateful defense wrappers forbid"
+            )
+        self._split = [
+            copy.deepcopy(self.predictor) for _ in range(self.lanes)
+        ]
+        for train in self._pending_trains:
+            if train.done is None:
+                train.done = np.zeros(self.lanes, dtype=bool)
+        if self._applied_max is None:
+            self._applied_max = np.full(self.lanes, -1, dtype=np.int64)
+
+    def _apply_due_shared(self, issue: Optional[np.ndarray]) -> None:
+        """Apply due trainings to the one shared predictor, in order.
+
+        The scalar core verifies/trains in ``(complete_cycle, seq)``
+        order; a pending training may apply only when it is uniformly
+        first by that order across lanes *and* uniformly due.  Any
+        ambiguity — crossing completions, a straddling mask, a
+        non-uniform trained value — forks the predictor per lane
+        (:meth:`_begin_split`) instead of guessing.
+        """
+        while self._split is None:
+            pending = [
+                train for train in self._pending_trains
+                if train.mask is None or bool(np.any(train.mask))
+            ]
+            self._pending_trains = pending
+            if not pending:
+                return
+            first: Optional[_PendingTrain] = None
+            for train in pending:
+                uniformly_first = True
+                for other in pending:
+                    if other is train:
+                        continue
+                    before = (
+                        (train.complete < other.complete)
+                        | ((train.complete == other.complete)
+                           & (train.seq < other.seq))
+                    )
+                    if not bool(np.all(before)):
+                        uniformly_first = False
+                        break
+                if uniformly_first:
+                    first = train
+                    break
+            if first is None:
+                self._begin_split()
+                return
+            if issue is not None:
+                due = first.complete <= issue
+                if not bool(np.any(due)):
+                    return
+                if not bool(np.all(due)):
+                    self._begin_split()
+                    return
+            if first.mask is not None and not bool(np.all(first.mask)):
+                self._begin_split()
+                return
+            value = first.value
+            if isinstance(value, np.ndarray):
+                head = value.flat[0]
+                if not bool(np.all(value == head)):
+                    self._begin_split()
+                    return
+                value = int(head)
+            self.predictor.train(first.key, int(value), first.prediction)
+            self._check_rng_guards()
+            self._applied_max = (
+                first.complete.copy() if self._applied_max is None
+                else np.maximum(self._applied_max, first.complete)
+            )
+            self._pending_trains.remove(first)
+
+    def _apply_due_split(self, issue: Optional[np.ndarray]) -> None:
+        """Per-lane replay of due trainings in (complete, seq) order."""
         pending = self._pending_trains
-        if pending and not bool(np.all(complete >= pending[-1].complete)):
-            # Training order would differ between lanes; the shared
-            # predictor can only replay one order.
-            raise LaneDivergence("training completions cross between lanes")
-        pending.append(_PendingTrain(complete, key, value, prediction))
+        if not pending:
+            return
+        replicas = self._split
+        assert replicas is not None and self._applied_max is not None
+        for lane in range(self.lanes):
+            todo = [
+                train for train in pending
+                if train.done is not None and not train.done[lane]
+                and (issue is None or train.complete[lane] <= issue[lane])
+            ]
+            todo.sort(key=lambda t: (int(t.complete[lane]), t.seq))
+            for train in todo:
+                train.done[lane] = True  # type: ignore[index]
+                if train.mask is not None and not bool(train.mask[lane]):
+                    continue
+                value = train.value
+                value = (
+                    int(value[lane]) if isinstance(value, np.ndarray)
+                    else int(value)
+                )
+                replicas[lane].train(train.key, value, train.prediction)
+                self._applied_max[lane] = max(
+                    self._applied_max[lane], int(train.complete[lane])
+                )
+        self._pending_trains = [
+            train for train in pending
+            if train.done is None or not bool(np.all(train.done))
+        ]
+
+    def _apply_due(self, issue: Optional[np.ndarray]) -> None:
+        if self._split is None:
+            self._apply_due_shared(issue)
+        if self._split is not None:
+            self._apply_due_split(issue)
 
     def _consult_predictor(
         self, key: AccessKey, issue: np.ndarray
     ) -> Optional[Prediction]:
-        """Predict for a missing load, applying due trainings first.
+        """Predict for a VPS-engaged load, applying due trainings first.
 
         The scalar core trains at each load's completion cycle and
         predicts at each miss's issue cycle; completion runs before
         issue within a cycle, so a pending training applies iff its
-        completion is <= the consulting issue in *every* lane.  A
-        training that straddles the issue (before it in one lane,
-        after it in another) means the lanes observe different
-        predictor states — divergence.
+        completion is <= the consulting issue in *every* lane.  The
+        applied-max guard catches the converse: a training already
+        applied *after* this issue in some lane means that lane's
+        scalar machine would not have seen it yet.
         """
-        pending = self._pending_trains
-        applied = 0
-        for train in pending:
-            if bool(np.all(train.complete <= issue)):
-                self.predictor.train(train.key, train.value, train.prediction)
-                applied += 1
-                continue
-            if not bool(np.all(train.complete > issue)):
+        self._apply_due(issue)
+        if self._applied_max is not None and bool(
+            np.any(self._applied_max > issue)
+        ):
+            raise LaneDivergence("train/predict order differs across lanes")
+        if self._split is not None:
+            predictions = [
+                replica.predict(key) for replica in self._split
+            ]
+            head = predictions[0]
+            if all(p is None for p in predictions):
+                return None
+            if any(p is None for p in predictions) or any(
+                p != head for p in predictions
+            ):
                 raise LaneDivergence(
-                    "train/predict order differs across lanes"
+                    "per-lane predictions disagree after a lane split"
                 )
-            break
-        if applied:
-            del pending[:applied]
-        return self.predictor.predict(key)
+            return head
+        prediction = self.predictor.predict(key)
+        self._check_rng_guards()
+        return prediction
 
     def drain_trains(self) -> None:
         """Apply every still-pending training (end of the measured code).
 
         Safe to run early at a run boundary: the next consult can only
         happen at an issue cycle beyond this run's last completion, so
-        it would apply these trainings first anyway; order within the
-        list is completion order by the enqueue invariant.
+        it would apply these trainings first anyway, in the same
+        (complete, seq) order.
         """
-        for train in self._pending_trains:
-            self.predictor.train(train.key, train.value, train.prediction)
-        self._pending_trains.clear()
+        self._apply_due(None)
 
     # -- the forward pass ----------------------------------------------
     def run_program(self, program: object) -> LaneRunResult:
@@ -509,6 +830,7 @@ class LockstepMachine:
         fetch_width = config.fetch_width
         commit_width = config.commit_width
         rob_size = config.rob_size
+        track_spec = config.delay_speculative_fills
 
         cols: List[_Col] = []
         rename: Dict[int, _Col] = {}
@@ -517,7 +839,7 @@ class LockstepMachine:
         fence_gate: Optional[np.ndarray] = None
         last_mem: Optional[np.ndarray] = None
         prev_mem: Optional[np.ndarray] = None
-        rdtsc_values: List[Tuple[int, np.ndarray]] = []
+        rdtsc_values: List[Tuple[int, _LaneInt]] = []
         squashes = 0
         # Issue-cycle logs for the post-hoc width/port oversubscription
         # guards (the recurrences assume the caps never bind).
@@ -542,6 +864,46 @@ class LockstepMachine:
                 raise LaneDivergence("consumer scheduled before producer")
             return producer.result
 
+        def unverified_at(load_col: _Col, issue: np.ndarray) -> bool:
+            """Whether a predicted load is still unverified at ``issue``.
+
+            Verification happens at the load's completion, which runs
+            before the issue stage within a cycle; a verdict that
+            differs between lanes diverges.
+            """
+            assert load_col.C is not None
+            before = issue < load_col.C
+            if bool(np.all(before)):
+                return True
+            if not bool(np.any(before)):
+                return False
+            raise LaneDivergence(
+                "prediction verification straddles a consumer's issue"
+            )
+
+        def spec_source(
+            regs: Tuple[int, ...], issue: np.ndarray
+        ) -> Optional[_Col]:
+            """Youngest unverified predicted-load ancestor (scalar
+            ``_speculative_source``), tracked only under the D defense."""
+            best: Optional[_Col] = None
+            for reg in regs:
+                producer = rename.get(reg)
+                if producer is None:
+                    continue
+                candidate: Optional[_Col] = None
+                if producer.pred_load and unverified_at(producer, issue):
+                    candidate = producer
+                elif producer.spec_col is not None and unverified_at(
+                    producer.spec_col, issue
+                ):
+                    candidate = producer.spec_col
+                if candidate is not None and (
+                    best is None or candidate.seq > best.seq
+                ):
+                    best = candidate
+            return best
+
         def retire_cycle(complete: np.ndarray) -> np.ndarray:
             n = len(cols)
             retire = complete
@@ -554,6 +916,264 @@ class LockstepMachine:
                 retire = np.maximum(retire, chain + one)
             return retire
 
+        def run_transient_window(
+            load_col: _Col, prediction: Prediction, pred_vr: np.ndarray,
+            window_start: int,
+        ) -> None:
+            """Execute the mispredicted load's squash window transiently.
+
+            Models the scalar core's pre-squash execution of the ops
+            younger than the load, up to the next FENCE: dispatch and
+            issue follow the same recurrences over the combined
+            main+transient column sequence, and an op takes effect only
+            when its issue cycle precedes the squash cycle ``C`` in
+            every lane.  Register writes go to a local rename overlay
+            (seeded with the predicted value) that the main pass never
+            sees — the post-squash refetch re-executes the same trace
+            entries architecturally.  Side effects that survive the
+            squash — cache/TLB walks of issued loads, and their masked
+            trainings — land on the shared structures and the ledger.
+            """
+            squash_c = load_col.C
+            assert squash_c is not None
+            far = np.full(lanes, _FAR, dtype=np.int64)
+            need_taint = config.delay_speculative_fills
+            trigger = trace[window_start - 1]
+            trigger_dest = trigger.instruction.destination_register()
+            # reg -> (value-ready vector | None if never ready, value,
+            #         speculatively tainted)
+            overlay: Dict[int, Tuple[Optional[np.ndarray], object, bool]] = {}
+            if trigger_dest is not None:
+                overlay[trigger_dest] = (pred_vr, prediction.value, True)
+            transient_d: List[np.ndarray] = []
+            t_last_mem, t_prev_mem = last_mem, prev_mem
+            n_load = len(cols) - 1
+
+            def pre_squash(cycles: np.ndarray) -> bool:
+                """all(< C) -> True; all(>= C) -> False; mixed diverges."""
+                pre = cycles < squash_c
+                if bool(np.all(pre)):
+                    return True
+                if not bool(np.any(pre)):
+                    return False
+                raise LaneDivergence(
+                    "squash window edge straddles lanes"
+                )
+
+            def t_source_vr(
+                base: np.ndarray, regs: Tuple[int, ...]
+            ) -> Optional[np.ndarray]:
+                ready = base
+                for reg in regs:
+                    if reg in overlay:
+                        vr = overlay[reg][0]
+                        if vr is None:
+                            return None  # producer never issued
+                        ready = np.maximum(ready, vr)
+                    else:
+                        producer = rename.get(reg)
+                        if producer is not None:
+                            assert producer.VR is not None
+                            ready = np.maximum(ready, producer.VR)
+                return ready
+
+            def t_source_value(reg: int) -> object:
+                if reg in overlay:
+                    return overlay[reg][1]
+                return source_value(reg)
+
+            def t_tainted(regs: Tuple[int, ...], issue: np.ndarray) -> bool:
+                for reg in regs:
+                    if reg in overlay:
+                        if overlay[reg][2]:
+                            return True
+                        continue
+                    producer = rename.get(reg)
+                    if producer is None:
+                        continue
+                    if producer.pred_load and unverified_at(producer, issue):
+                        return True
+                    if producer.spec_col is not None and unverified_at(
+                        producer.spec_col, issue
+                    ):
+                        return True
+                return False
+
+            for w, spec in enumerate(trace[window_start:]):
+                sinstr: Instruction = spec.instruction
+                sop = sinstr.op
+                if sop is Opcode.FENCE:
+                    # A FENCE blocks dispatch behind it; nothing past
+                    # it existed before the squash.
+                    break
+                if sop in (Opcode.STORE, Opcode.FLUSH, Opcode.RDTSC):
+                    raise LaneDivergence(
+                        f"{sop.name.lower()} in a squash window is not "
+                        "lane-vectorized"
+                    )
+                n = n_load + 1 + w
+                dispatch = transient_d[w - 1] if w else load_col.D
+                assert dispatch is not None
+                if n >= fetch_width:
+                    gate_index = n - fetch_width
+                    if gate_index <= n_load:
+                        gate = cols[gate_index].D
+                    elif gate_index - n_load - 1 < len(transient_d):
+                        gate = transient_d[gate_index - n_load - 1]
+                    else:
+                        gate = None  # gated by a never-dispatched op
+                    if gate is None:
+                        break
+                    dispatch = np.maximum(dispatch, gate + one)
+                if stall is not None:
+                    dispatch = np.maximum(dispatch, stall)
+                if fence_gate is not None:
+                    dispatch = np.maximum(dispatch, fence_gate)
+                if n >= rob_size:
+                    gate_index = n - rob_size
+                    if gate_index > n_load:
+                        # The ROB slot waits on a transient op that
+                        # never retires: dispatch stops here.
+                        break
+                    gate_r = cols[gate_index].R
+                    assert gate_r is not None
+                    dispatch = np.maximum(dispatch, gate_r)
+                if not pre_squash(dispatch):
+                    break  # in-order dispatch: younger ops stop too
+                transient_d.append(dispatch)
+
+                dreg = sinstr.destination_register()
+                if sop in (Opcode.NOP, Opcode.HALT):
+                    issue = dispatch + one
+                    if pre_squash(issue):
+                        width_issues.append(issue)
+                    continue
+                if sop is Opcode.LI:
+                    issue = dispatch + one
+                    if pre_squash(issue):
+                        width_issues.append(issue)
+                        if dreg is not None:
+                            overlay[dreg] = (
+                                issue + config.alu_latency,
+                                sinstr.imm & _VALUE_MASK,
+                                False,
+                            )
+                    elif dreg is not None:
+                        overlay[dreg] = (None, None, False)
+                    continue
+                if sop is Opcode.ALU:
+                    issue_base = t_source_vr(
+                        dispatch + one, sinstr.source_registers()
+                    )
+                    if issue_base is None or not pre_squash(issue_base):
+                        if dreg is not None:
+                            overlay[dreg] = (None, None, False)
+                        continue
+                    issue = issue_base
+                    needs_mul = sinstr.alu_op is AluOp.MUL
+                    width_issues.append(issue)
+                    (mul_issues if needs_mul else alu_issues).append(issue)
+                    assert sinstr.src1 is not None and sinstr.alu_op is not None
+                    lhs = t_source_value(sinstr.src1)
+                    rhs: object = (
+                        t_source_value(sinstr.src2)
+                        if sinstr.src2 is not None else sinstr.imm
+                    )
+                    if isinstance(lhs, np.ndarray) or isinstance(rhs, np.ndarray):
+                        result: object = _alu_vec(sinstr.alu_op, lhs, rhs)
+                    else:
+                        result = _alu_compute(sinstr.alu_op, lhs, rhs)
+                    latency = (
+                        config.mul_latency if needs_mul
+                        else config.alu_latency
+                    )
+                    if dreg is not None:
+                        taint = (
+                            t_tainted(sinstr.source_registers(), issue)
+                            if need_taint else False
+                        )
+                        overlay[dreg] = (issue + latency, result, taint)
+                    continue
+                if sop is Opcode.LOAD:
+                    issue_base = t_source_vr(
+                        dispatch + one, sinstr.source_registers()
+                    )
+                    if issue_base is None:
+                        # A memory op stuck at the issue stage blocks
+                        # every younger memory op (memory_blocked).
+                        t_prev_mem, t_last_mem = t_last_mem, far
+                        if dreg is not None:
+                            overlay[dreg] = (None, None, False)
+                        continue
+                    issue = issue_base
+                    if t_last_mem is not None:
+                        issue = np.maximum(issue, t_last_mem)
+                    if t_prev_mem is not None:
+                        issue = np.maximum(issue, t_prev_mem + one)
+                    if not pre_squash(issue):
+                        t_prev_mem, t_last_mem = t_last_mem, far
+                        if dreg is not None:
+                            overlay[dreg] = (None, None, False)
+                        continue
+                    width_issues.append(issue)
+                    t_prev_mem, t_last_mem = t_last_mem, issue
+                    base: object = 0
+                    if sinstr.src1 is not None:
+                        base = t_source_value(sinstr.src1)
+                    addr = _uniform_int(base, "transient effective address")
+                    addr = (addr + sinstr.imm) & EA_MASK
+                    taint = (
+                        t_tainted(sinstr.source_registers(), issue)
+                        if need_taint else False
+                    )
+                    self._apply_fill_events(issue)
+                    nofill = config.invisispec or (
+                        config.delay_speculative_fills and taint
+                    )
+                    # The transient walk is the attack's persistent
+                    # footprint: a fill survives the squash; deferred
+                    # (D) and invisible (InvisiSpec) fills never land
+                    # because the load never verifies nor retires.
+                    if nofill:
+                        latency, l1_hit, paddr = self._load_access_nofill(
+                            pid, addr
+                        )
+                    else:
+                        latency, l1_hit, paddr = self._load_access(pid, addr)
+                    value = self._value_at(paddr)
+                    done = issue + latency
+                    key: Optional[AccessKey] = None
+                    nested: Optional[Prediction] = None
+                    if l1_hit:
+                        if config.train_on_hit or config.predict_on_hit:
+                            key = AccessKey(pc=spec.pc, addr=addr, pid=pid)
+                            if (
+                                config.predict_on_hit
+                                and config.value_prediction
+                            ):
+                                nested = self._consult_predictor(key, issue)
+                    else:
+                        key = AccessKey(pc=spec.pc, addr=addr, pid=pid)
+                        if config.value_prediction:
+                            nested = self._consult_predictor(key, issue)
+                    if nested is not None:
+                        raise LaneDivergence(
+                            "nested speculation in a squash window"
+                        )
+                    if key is not None:
+                        # The VPS observes the value only in lanes
+                        # where the load completed strictly before the
+                        # squash (ties verify the older trigger first).
+                        self._enqueue_train(
+                            key, value, None, done, mask=done < squash_c
+                        )
+                    if dreg is not None:
+                        overlay[dreg] = (done, value, taint)
+                    continue
+                raise LaneDivergence(  # pragma: no cover - exhaustive
+                    f"unhandled opcode {sop} in a squash window"
+                )
+
         index = 0
         trace_length = len(trace)
         while index < trace_length:
@@ -562,6 +1182,7 @@ class LockstepMachine:
             op = instr.op
             col = _Col()
             n = len(cols)
+            col.seq = n
 
             # -- dispatch ----------------------------------------------
             dispatch = cols[-1].D if n else start
@@ -581,6 +1202,8 @@ class LockstepMachine:
             col.D = dispatch
 
             squashed_here = False
+            trig_pred: Optional[Prediction] = None
+            trig_vr: Optional[np.ndarray] = None
             if op in (Opcode.FENCE, Opcode.RDTSC):
                 # Serialising: executes at the ROB head once drained.
                 retire = np.maximum(dispatch + one, retire_cycle(dispatch))
@@ -589,7 +1212,7 @@ class LockstepMachine:
                     fence_gate = retire
                 else:
                     col.result = retire  # RDTSC reads its retire cycle
-                    rdtsc_values.append((placed.pc, retire))
+                    rdtsc_values.append((placed.pc, _LaneInt(retire)))
             elif op in (Opcode.NOP, Opcode.HALT):
                 issue = dispatch + one
                 width_issues.append(issue)
@@ -611,6 +1234,10 @@ class LockstepMachine:
                 needs_mul = instr.alu_op is AluOp.MUL
                 (mul_issues if needs_mul else alu_issues).append(issue)
                 col.I = issue
+                if track_spec:
+                    col.spec_col = spec_source(
+                        instr.source_registers(), issue
+                    )
                 assert instr.src1 is not None and instr.alu_op is not None
                 lhs = source_value(instr.src1)
                 rhs: object = (
@@ -647,12 +1274,18 @@ class LockstepMachine:
                 addr = _uniform_int(base, "effective address")
                 addr = (addr + instr.imm) & EA_MASK
                 if op is Opcode.FLUSH:
+                    self._apply_fill_events(issue)
                     self.mem.flush(pid, addr)
                     col.VR = col.C = issue + self.mem.config.flush_latency
                     col.R = retire_cycle(col.C)
                 else:
-                    squashed_here = self._load_column(
-                        col, pid, placed.pc, addr, issue, retire_cycle
+                    spec_col = (
+                        spec_source(instr.source_registers(), issue)
+                        if track_spec else None
+                    )
+                    squashed_here, trig_pred, trig_vr = self._load_column(
+                        col, pid, placed.pc, addr, issue, retire_cycle,
+                        spec_col,
                     )
             else:  # pragma: no cover - exhaustive over Opcode
                 raise LaneDivergence(f"unhandled opcode {op}")
@@ -665,24 +1298,13 @@ class LockstepMachine:
             if squashed_here:
                 # The scalar core dispatched (and possibly issued)
                 # younger ops between the load's issue and its
-                # verification; squashing discards their results, but
-                # a speculative *memory* op would already have walked
-                # the caches.  Prove the kill window held none: only
-                # ops within ROB reach of the load and ahead of any
-                # FENCE could have dispatched (a FENCE cannot retire
-                # past the unverified load at the ROB head), and
-                # serialising/ALU/LI/NOP ops have no global effects.
-                window_end = min(trace_length, index + 1 + rob_size)
-                for spec in trace[index + 1:window_end]:
-                    spec_op = spec.instruction.op
-                    if spec_op is Opcode.FENCE:
-                        break
-                    if spec_op in (Opcode.LOAD, Opcode.STORE, Opcode.FLUSH):
-                        raise LaneDivergence(
-                            "memory op inside a squash window"
-                        )
-                # The engine never materializes the killed columns;
-                # refetch resumes right after the load, penalty applied.
+                # verification; squashing discards their register
+                # results, but an issued transient *memory* op has
+                # already walked the caches — the persistent channel.
+                # Execute the window transiently, then refetch right
+                # after the load with the penalty applied.
+                assert trig_pred is not None and trig_vr is not None
+                run_transient_window(col, trig_pred, trig_vr, index + 1)
                 squashes += 1
                 assert col.C is not None
                 penalty = col.C + config.squash_penalty
@@ -709,10 +1331,11 @@ class LockstepMachine:
         self.total_retired += len(cols) * lanes
         self.total_squashes += squashes * lanes
         self.cycle = finish
-        # Every pending training completed within this run, and any
-        # later consult happens at an issue cycle past this run's end,
-        # so applying them now is order-equivalent and keeps the
-        # ledger from spanning run boundaries.
+        # Every deferred fill and pending training completed within
+        # this run, and any later access happens at an issue cycle past
+        # this run's end, so applying them now is order-equivalent and
+        # keeps neither queue spanning run boundaries.
+        self._apply_fill_events(None)
         self.drain_trains()
         return LaneRunResult(
             program_name=name,
@@ -733,43 +1356,113 @@ class LockstepMachine:
         addr: int,
         issue: np.ndarray,
         retire_cycle,
-    ) -> bool:
-        """Schedule one load column; returns True when it squashes."""
-        latency, l1_hit, paddr = self._load_access(pid, addr)
-        value = self._value_at(paddr)
+        spec_col: Optional[_Col],
+    ) -> Tuple[bool, Optional[Prediction], Optional[np.ndarray]]:
+        """Schedule one load column.
+
+        Returns ``(squashed, prediction, speculative value-ready)``:
+        the last two feed the transient-window overlay when the load
+        mispredicts (consumers issued pre-squash saw the predicted
+        value at the *early* value-ready cycle, not the post-verify
+        one stored on the column).
+        """
         config = self.config
-        if l1_hit:
-            # L1 hits never engage the (load-miss-based) VPS.
-            col.result = value
-            col.VR = col.C = issue + latency
-            col.R = retire_cycle(col.C)
-            return False
-        memory_return = issue + latency
-        key = AccessKey(pc=pc, addr=addr, pid=pid)
+        invisi = config.invisispec
+        defer = (
+            not invisi
+            and config.delay_speculative_fills
+            and spec_col is not None
+        )
+        if defer and spec_col is not None and spec_col.spec_col is not None:
+            # The scalar core re-keys the deferred fill to the
+            # grandparent prediction at verify time; model the common
+            # flat case only.
+            raise LaneDivergence("nested speculative fill deferral")
+        self._apply_fill_events(issue)
+        if invisi or defer:
+            latency, l1_hit, paddr = self._load_access_nofill(pid, addr)
+        else:
+            latency, l1_hit, paddr = self._load_access(pid, addr)
+        value = self._value_at(paddr)
+        col.spec_col = spec_col
+        done = issue + latency
+
+        def post_fill() -> None:
+            """Schedule the deferred fill this nofill walk owes."""
+            if invisi:
+                # InvisiSpec: every load re-fills at its retire.
+                assert col.R is not None
+                self._schedule_fill(col.R, paddr, pid, addr)
+            elif defer:
+                # D defense: the fill lands when the speculation
+                # source verifies (correct — a mispredicting source
+                # would have squashed this load into a transient).
+                assert spec_col is not None and spec_col.C is not None
+                self._schedule_fill(spec_col.C, paddr, pid, addr)
+
+        key: Optional[AccessKey] = None
         prediction: Optional[Prediction] = None
+        if l1_hit:
+            if config.train_on_hit or config.predict_on_hit:
+                key = AccessKey(pc=pc, addr=addr, pid=pid)
+                if config.predict_on_hit and config.value_prediction:
+                    prediction = self._consult_predictor(key, issue)
+            if prediction is None:
+                col.result = value
+                col.VR = col.C = done
+                col.R = retire_cycle(col.C)
+                if key is not None:
+                    self._enqueue_train(key, value, None, done)
+                post_fill()
+                return False, None, None
+            # Footnote 2's non-load-based VPS: hits predict too, and
+            # mispredicted hits still squash.
+            actual = _uniform_int(value, "predicted-load value")
+            self._enqueue_train(key, actual, prediction, done)
+            col.C = done
+            col.pred_load = True
+            col.result = actual
+            early_vr = np.minimum(issue + config.predict_latency, done)
+            if prediction.value == actual:
+                col.VR = early_vr
+                col.R = retire_cycle(col.C)
+                post_fill()
+                return False, None, None
+            col.VR = done
+            col.R = retire_cycle(col.C)
+            post_fill()
+            return True, prediction, early_vr
+
+        # L1 miss: the Value Prediction System is engaged.
+        memory_return = done
+        key = AccessKey(pc=pc, addr=addr, pid=pid)
         if config.value_prediction:
             prediction = self._consult_predictor(key, issue)
         if prediction is None:
             col.result = value
             col.VR = col.C = memory_return
             col.R = retire_cycle(col.C)
-            self._enqueue_train(key, _uniform_int(value, "trained value"),
-                                None, memory_return)
-            return False
+            self._enqueue_train(key, value, None, memory_return)
+            post_fill()
+            return False, None, None
         actual = _uniform_int(value, "predicted-load value")
         self._enqueue_train(key, actual, prediction, memory_return)
         col.C = memory_return
+        col.pred_load = True
         col.result = actual
+        early_vr = issue + config.predict_latency
         if prediction.value == actual:
             # Verified correct: consumers saw the early value.
-            col.VR = issue + config.predict_latency
+            col.VR = early_vr
             col.R = retire_cycle(col.C)
-            return False
+            post_fill()
+            return False, None, None
         # Misprediction: the squash is lane-uniform (shared predictor,
         # uniform actual), so every lane kills the same younger window.
         col.VR = memory_return
         col.R = retire_cycle(col.C)
-        return True
+        post_fill()
+        return True, prediction, early_vr
 
     # -- guards ---------------------------------------------------------
     @staticmethod

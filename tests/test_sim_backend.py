@@ -4,8 +4,9 @@ Three contracts keep the batched lockstep backend honest:
 
 1. **Identity** — every ``TrialResult`` it produces is byte-identical
    to the scalar reference across the Table II variant matrix, both
-   channels, the {none, D, R} defense column, and the full Table III
-   sweep (the acceptance criterion of ISSUE 8, enforced here rather
+   channels, the full defense column {none, D, R, A, InvisiSpec,
+   composite}, the vtage predictor, and the full Table III sweep
+   (the acceptance criteria of ISSUEs 8 and 9, enforced here rather
    than only in the slow bench).
 2. **Schedule purity** — per-trial results are a pure function of the
    trial index: lane width, chunk boundaries and advance() cut points
@@ -54,6 +55,18 @@ def _defense(kind):
         from repro.defenses.random_window import RandomWindowDefense
 
         return RandomWindowDefense()
+    if kind == "A":
+        from repro.defenses.always_predict import AlwaysPredictDefense
+
+        return AlwaysPredictDefense()
+    if kind == "I":
+        from repro.defenses.invisispec import InvisiSpecDefense
+
+        return InvisiSpecDefense()
+    if kind == "full":
+        from repro.defenses import full_stack
+
+        return full_stack(9, "history")
     raise AssertionError(kind)
 
 
@@ -142,9 +155,16 @@ class TestBackendRegistry:
 @pytest.mark.parametrize("channel", [ChannelType.TIMING_WINDOW,
                                      ChannelType.PERSISTENT],
                          ids=lambda c: c.value)
-@pytest.mark.parametrize("defense", ["none", "D", "R"])
+@pytest.mark.parametrize("defense", ["none", "D", "R", "A", "I", "full"])
 def test_trial_streams_identical(variant, channel, defense):
-    """Table II matrix x channels x defenses: byte-identical streams."""
+    """Table II matrix x channels x the full defense column.
+
+    Byte-identical streams whether the cell vectorizes (none, D,
+    InvisiSpec everywhere; A on timing cells) or takes the journaled
+    runtime fallback (R's per-trial window draws, A under the
+    persistent channel, the composite stack): identity is the
+    contract either way.
+    """
     if channel not in variant.supported_channels:
         pytest.skip(f"{variant.name} has no {channel.value} receiver")
     clear_fallback_journal()
@@ -155,12 +175,24 @@ def test_trial_streams_identical(variant, channel, defense):
     assert batched == scalar
 
 
+@pytest.mark.parametrize("channel", [ChannelType.TIMING_WINDOW,
+                                     ChannelType.PERSISTENT],
+                         ids=lambda c: c.value)
 @pytest.mark.parametrize("predictor", ["none", "vtage"])
-def test_trial_streams_identical_other_predictors(predictor):
-    variant = variant_by_name("Train + Hit")
-    scalar = _stream(_runner(variant, "scalar", predictor=predictor))
-    batched = _stream(_runner(variant, "batched", predictor=predictor))
+def test_trial_streams_identical_other_predictors(predictor, channel):
+    variant = variant_by_name(
+        "Train + Hit" if channel is ChannelType.TIMING_WINDOW
+        else "Train + Test"
+    )
+    clear_fallback_journal()
+    scalar = _stream(_runner(variant, "scalar",
+                             predictor=predictor, channel=channel))
+    batched = _stream(_runner(variant, "batched",
+                              predictor=predictor, channel=channel))
     assert batched == scalar
+    # vtage is a first-class lane-uniform predictor now — these cells
+    # must vectorize outright, not pass via scalar fallback.
+    assert fallback_journal() == []
 
 
 def test_table3_sweep_verdicts_identical(tmp_path):
@@ -196,6 +228,37 @@ def test_snapshot_protocol_composes(monkeypatch):
         scalar = _stream(_runner(variant, "scalar", snapshot_trials=True))
         batched = _stream(_runner(variant, "batched", snapshot_trials=True))
         assert batched == scalar
+
+
+@pytest.mark.parametrize("defense", ["D", "R", "A", "I", "full"])
+def test_snapshot_protocol_composes_with_defenses(defense):
+    """Snapshot forking x every defense: still byte-identical."""
+    variant = variant_by_name("Train + Test")
+    scalar = _stream(_runner(variant, "scalar",
+                             snapshot_trials=True, defense=defense))
+    batched = _stream(_runner(variant, "batched",
+                              snapshot_trials=True, defense=defense))
+    assert batched == scalar
+
+
+def test_incremental_advance_composes_with_defense_and_channel():
+    """Group-sequential looks under a defended persistent cell."""
+    variant = variant_by_name("Train + Test")
+
+    def looks(backend, cuts):
+        runner = _runner(variant, backend, n_runs=11, defense="D",
+                         channel=ChannelType.PERSISTENT)
+        experiment = runner.run_incremental()
+        for cut in cuts:
+            experiment.advance(cut)
+        result = experiment.result()
+        return (float(result.pvalue),
+                result.comparison.mapped.samples,
+                result.comparison.unmapped.samples)
+
+    reference = looks("scalar", [11])
+    assert looks("batched", [11]) == reference
+    assert looks("batched", [3, 5, 11]) == reference
 
 
 def test_incremental_advance_boundaries_compose():
@@ -248,6 +311,29 @@ def test_range_splits_never_affect_draws():
 
 
 def test_unsupported_config_falls_back_with_journal():
+    """Audit mode is the deliberately-unsupported shape: static gate."""
+    from repro.perf.counters import COUNTERS
+
+    clear_fallback_journal()
+    before = COUNTERS.batched_fallback_trials
+    variant = variant_by_name("Train + Hit")
+    scalar = _stream(_runner(variant, "scalar",
+                             snapshot_trials=True, audit_snapshots=True))
+    batched = _stream(_runner(variant, "batched",
+                              snapshot_trials=True, audit_snapshots=True))
+    assert batched == scalar
+    assert COUNTERS.batched_fallback_trials > before
+    journal = fallback_journal()
+    assert journal, "fallback produced no journal entry"
+    cell, reason = journal[-1]
+    assert "Train + Hit" in cell
+    assert "audit" in reason
+
+
+def test_runtime_divergence_journals_reason():
+    """The R defense now fails at run time, not statically: its shared
+    window RNG draws a per-trial value the lockstep batch cannot
+    replay, and the journaled reason says so."""
     from repro.perf.counters import COUNTERS
 
     clear_fallback_journal()
@@ -258,10 +344,46 @@ def test_unsupported_config_falls_back_with_journal():
     assert batched == scalar
     assert COUNTERS.batched_fallback_trials > before
     journal = fallback_journal()
-    assert journal, "fallback produced no journal entry"
-    cell, reason = journal[-1]
-    assert "Train + Hit" in cell
-    assert "defense" in reason
+    assert journal, "runtime fallback produced no journal entry"
+    _, reason = journal[-1]
+    assert "RNG" in reason
+
+
+def test_injected_divergence_falls_back_then_genuine_errors_reraise(
+    monkeypatch,
+):
+    """Per-chunk fallback recovers divergence but not genuine bugs.
+
+    An injected :class:`LaneDivergence` inside the lockstep run must
+    replay the chunk on scalar with identical results and a journal
+    entry; an error that also reproduces under scalar must escape the
+    fallback with its authentic type instead of being swallowed.
+    """
+    from repro.sim import lockstep
+
+    variant = variant_by_name("Train + Hit")
+    reference = _stream(_runner(variant, "scalar"))
+
+    clear_fallback_journal()
+    calls = {"n": 0}
+
+    def exploding(self, *args, **kwargs):
+        calls["n"] += 1
+        raise lockstep.LaneDivergence("injected divergence")
+
+    monkeypatch.setattr(lockstep.LockstepMachine, "run_program", exploding)
+    assert _stream(_runner(variant, "batched")) == reference
+    assert calls["n"] >= 1
+    assert any(
+        "injected divergence" in reason for _, reason in fallback_journal()
+    )
+
+    def genuine(self, *args, **kwargs):
+        raise RuntimeError("genuine simulation bug")
+
+    monkeypatch.setattr(type(variant), "run", genuine)
+    with pytest.raises(RuntimeError, match="genuine simulation bug"):
+        _stream(_runner(variant, "batched"))
 
 
 def test_vectorized_cell_journals_nothing():
