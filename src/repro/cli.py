@@ -137,10 +137,37 @@ def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend", default=None, choices=list(BACKEND_NAMES),
         help="simulation backend for the trial loop: scalar (the "
-             "reference interpreter, default) or batched (numpy "
-             "lockstep lanes, byte-identical results); default "
-             "follows $REPRO_BACKEND",
+             "reference interpreter, default), batched (numpy "
+             "lockstep lanes, byte-identical results) or pool (the "
+             "cross-cell lane pool); default follows $REPRO_BACKEND",
     )
+    parser.add_argument(
+        "--lane-schedule", default=None, choices=["cell", "pool"],
+        help="lane scheduling across cells: cell (one lockstep pass "
+             "per cell chunk, the default) or pool (continuous "
+             "batching — recorded passes and warm machine state are "
+             "shared across cells, looks and jobs; sugar for "
+             "--backend pool, byte-identical results)",
+    )
+
+
+def _effective_backend(args: argparse.Namespace) -> Optional[str]:
+    """Resolve ``--backend`` and ``--lane-schedule`` to one name.
+
+    ``--lane-schedule pool`` is sugar for ``--backend pool``; pinning
+    any *other* backend alongside it is a contradiction and fails
+    loudly rather than silently ignoring one of the flags.
+    """
+    lane_schedule = getattr(args, "lane_schedule", None)
+    backend = args.backend
+    if lane_schedule == "pool":
+        if backend not in (None, "pool"):
+            raise ReproError(
+                f"--lane-schedule pool needs the pool backend, but "
+                f"--backend {backend} was pinned explicitly"
+            )
+        return "pool"
+    return backend
 
 
 def _cmd_table1(args: argparse.Namespace) -> None:
@@ -178,8 +205,10 @@ def _cmd_attack(args: argparse.Namespace) -> None:
             policy = dataclasses.replace(policy, sequential=seq_policy)
         if args.strict_preflight:
             policy = dataclasses.replace(policy, strict_preflight=True)
-        if args.backend is not None:
-            policy = dataclasses.replace(policy, backend=args.backend)
+        if _effective_backend(args) is not None:
+            policy = dataclasses.replace(
+                policy, backend=_effective_backend(args)
+            )
         executor = ResilientExecutor(
             policy,
             injector=(
@@ -223,7 +252,7 @@ def _cmd_attack(args: argparse.Namespace) -> None:
             modify_mode=args.modify_mode,
             snapshot_trials=args.snapshot_trials,
             audit_snapshots=args.audit_snapshots,
-            backend=args.backend,
+            backend=_effective_backend(args),
         )
         result = AttackRunner(variant, config).run_experiment()
     print(result.describe())
@@ -285,7 +314,7 @@ def _cmd_all(args: argparse.Namespace) -> None:
         audit_snapshots=args.audit_snapshots,
         sequential=_sequential_policy(args),
         strict_preflight=args.strict_preflight,
-        backend=args.backend,
+        backend=_effective_backend(args),
     )
     for name, path in sorted(written.items()):
         print(f"{name}: {path}")
@@ -334,7 +363,7 @@ def _cmd_perf(args: argparse.Namespace) -> None:
         seed=args.seed,
         workers=args.workers,
         artifacts=artifacts,
-        backend=args.backend,
+        backend=_effective_backend(args),
         snapshot_path=(
             None if args.no_snapshot else (args.snapshot or DEFAULT_SNAPSHOT)
         ),
@@ -356,15 +385,19 @@ def _cmd_serve(args: argparse.Namespace) -> None:
     from repro.harness.parallel import _resolve_profile
     from repro.serve.daemon import ReproDaemon, ServePolicy
 
-    if args.backend is not None:
+    serve_backend = _effective_backend(args)
+    if serve_backend is not None:
         # Worker processes resolve the backend from the environment
         # (repro.sim.BACKEND_ENV), so exporting it here threads the
         # selection through the pool without touching job specs —
         # results are byte-identical either way by the backend
-        # contract, this only picks the execution strategy.
+        # contract, this only picks the execution strategy.  Under
+        # --lane-schedule pool every worker's cells admit trials
+        # through its process-global lane pool, so concurrent jobs
+        # dispatched to one worker share tapes and warm machines.
         from repro.sim import BACKEND_ENV
 
-        os.environ[BACKEND_ENV] = args.backend
+        os.environ[BACKEND_ENV] = serve_backend
     os.makedirs(args.root, exist_ok=True)
     policy = ServePolicy(
         workers=args.workers,

@@ -285,6 +285,14 @@ class ExecutionPolicy:
     #: ``None`` follows ``$REPRO_BACKEND`` and defaults to scalar.
     #: Explicit per-cell ``backend`` overrides still win.
     backend: Optional[str] = None
+    #: Lane scheduling across cells: ``"cell"`` keeps the historical
+    #: one-backend-instance-per-cell dispatch; ``"pool"`` routes every
+    #: cell through the process-global lane pool
+    #: (:mod:`repro.sim.schedule`), which shares recorded passes and
+    #: warm machine state across cells, looks and jobs.  Sugar for
+    #: ``backend="pool"`` — kept separate so a sweep can say *how*
+    #: lanes are scheduled without naming an engine.
+    lane_schedule: str = "cell"
     cell_cycle_budget: Optional[float] = None
     fail_fast: bool = False
     preflight: bool = True
@@ -294,6 +302,26 @@ class ExecutionPolicy:
     #: cells included: the journaled preflight record is compared
     #: against the journaled dynamic verdict).
     strict_preflight: bool = False
+
+    def __post_init__(self) -> None:
+        if self.lane_schedule not in ("cell", "pool"):
+            raise HarnessError(
+                f"unknown lane schedule {self.lane_schedule!r}; "
+                "expected 'cell' or 'pool'"
+            )
+        if self.lane_schedule == "pool" and self.backend not in (
+            None, "pool"
+        ):
+            raise HarnessError(
+                f"--lane-schedule pool needs the pool backend, but "
+                f"--backend {self.backend} was pinned explicitly"
+            )
+
+    def effective_backend(self) -> Optional[str]:
+        """The backend name the policy resolves to (None = default)."""
+        if self.lane_schedule == "pool":
+            return "pool"
+        return self.backend
 
     @classmethod
     def compat(cls) -> "ExecutionPolicy":
@@ -403,8 +431,10 @@ def run_sequential_cell(
     experiment = runner.run_incremental()
     test = GroupSequentialTest(design)
     state = None
-    for n in design.looks:
-        state = experiment.advance(n)
+    # Pull exactly what each look demands (SequentialDesign.next_demand
+    # is the admission contract demand-driven lane schedulers honour).
+    while (demand := design.next_demand(experiment.trials_done)) > 0:
+        state = experiment.advance(experiment.trials_done + demand)
         COUNTERS.sequential_looks += 1
         if test.decide(state.comparison.pvalue).decision != "continue":
             break
@@ -418,6 +448,12 @@ def run_sequential_cell(
         COUNTERS.sequential_cycles_avoided += int(
             trials_avoided * state.mean_trial_cycles
         )
+        # Demand-driven backends account the tail trials a
+        # fill-every-lane dispatcher would have already burnt past
+        # this decisive look (duck-typed: only the pool implements it).
+        clip = getattr(runner.backend, "note_early_stop", None)
+        if clip is not None:
+            clip(runner, experiment.trials_done)
 
     extensions = 0
     extension_records: List[Dict[str, object]] = []
@@ -781,8 +817,9 @@ class ResilientExecutor:
                 kwargs.setdefault(
                     "max_trial_cycles", self.policy.max_trial_cycles
                 )
-            if self.policy.backend is not None:
-                kwargs.setdefault("backend", self.policy.backend)
+            policy_backend = self.policy.effective_backend()
+            if policy_backend is not None:
+                kwargs.setdefault("backend", policy_backend)
             predictor_arg: object = predictor
             if injector is not None:
                 if injector.profile.perturbs_dram:

@@ -173,10 +173,10 @@ class BatchedBackend:
         """One chunk, vectorized; any failure replays it on scalar."""
         indices = range(start, stop)
         try:
-            mapped_rows, mapped_machine = self._run_batch(
+            mapped_rows, mapped_machine, _ = self._run_batch(
                 runner, True, indices
             )
-            unmapped_rows, unmapped_machine = self._run_batch(
+            unmapped_rows, unmapped_machine, _ = self._run_batch(
                 runner, False, indices
             )
         except (KeyboardInterrupt, SystemExit):  # pragma: no cover
@@ -207,14 +207,34 @@ class BatchedBackend:
         ]
 
     def _run_batch(
-        self, runner: "AttackRunner", mapped: bool, indices: Sequence[int]
-    ) -> Tuple[List["TrialResult"], Any]:
-        """All of one hypothesis's trials in the chunk, in lockstep."""
+        self,
+        runner: "AttackRunner",
+        mapped: bool,
+        indices: Sequence[int],
+        seeds: Optional[Sequence[int]] = None,
+        mem: Any = None,
+        tape: Any = None,
+    ) -> Tuple[List["TrialResult"], Any, Any]:
+        """All of one hypothesis's trials in the chunk, in lockstep.
+
+        ``seeds`` overrides the per-runner trial-seed schedule (the
+        lane pool fuses compatible cells' trials into one pass, so one
+        runner's pass may carry foreign seeds); ``mem`` supplies an
+        already-reset warm memory system and ``tape`` a
+        :class:`~repro.sim.tape.TapeRecorder` — both pool mechanisms,
+        inert for per-cell batched execution.  Returns ``(rows,
+        machine, measurement)`` where the measurement is the raw lane
+        vector (a traced vector under recording) the rows were built
+        from.
+        """
         from repro.core.attack import TrialResult, attack_dram_config
 
         lockstep = self._lockstep
         config = runner.config
-        seeds = [_trial_seed(config, mapped, i) for i in indices]
+        if seeds is None:
+            seeds = [_trial_seed(config, mapped, i) for i in indices]
+        else:
+            seeds = list(seeds)
         base_memory = config.memory_config or MemoryConfig(
             dram=attack_dram_config()
         )
@@ -233,6 +253,8 @@ class BatchedBackend:
             predictor=predictor,
             lane_seeds=seeds,
             shared_region=shared_region,
+            mem=mem,
+            tape=tape,
         )
         # A lane split (per-lane predictor deepcopies, for non-uniform
         # trainings like the persistent channel's probe-array reads) is
@@ -295,4 +317,4 @@ class BatchedBackend:
             )
             for lane in range(len(seeds))
         ]
-        return rows, machine
+        return rows, machine, values

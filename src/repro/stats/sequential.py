@@ -210,6 +210,20 @@ class SequentialDesign:
         previous = self.cumulative_spend(look - 1) if look else 0.0
         return max(self.cumulative_spend(look) - previous, 0.0)
 
+    def next_demand(self, trials_done: int) -> int:
+        """Trials per hypothesis the next look still needs (0 = done).
+
+        The demand-driven admission contract for lane schedulers: a
+        backend that dispatches exactly this many trials per
+        hypothesis never simulates past the next decision point, so
+        an early stop wastes nothing.  ``trials_done`` between looks
+        (a resumed cell) is pulled forward to the next boundary.
+        """
+        for n in self.looks:
+            if n > trials_done:
+                return n - trials_done
+        return 0
+
     def interim_spend(self) -> float:
         """Total alpha available to interim (non-final) looks."""
         if self.num_looks == 1:

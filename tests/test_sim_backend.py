@@ -102,7 +102,7 @@ def _stream(runner, start=0, stop=None):
 
 class TestBackendRegistry:
     def test_names_and_default(self):
-        assert BACKEND_NAMES == ("batched", "scalar")
+        assert BACKEND_NAMES == ("batched", "pool", "scalar")
         assert DEFAULT_BACKEND == "scalar"
 
     def test_resolution_order(self, monkeypatch):
